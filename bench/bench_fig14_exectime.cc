@@ -1,0 +1,65 @@
+/**
+ * @file
+ * F14: parallel execution time of the four schemes, normalized to the
+ * full-map hardware directory (HW = 1.0). The paper's headline: TPI is
+ * comparable to HW despite needing no directory.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "harness.hh"
+#include "workloads/workloads.hh"
+
+using namespace hscd;
+using namespace hscd::bench;
+
+int
+main()
+{
+    MachineConfig cfg = makeConfig(SchemeKind::TPI);
+    printHeader(std::cout, "F14",
+                "normalized parallel execution time (HW = 1.0)", cfg);
+
+    TextTable t;
+    t.col("benchmark", TextTable::Align::Left)
+        .col("BASE")
+        .col("SC")
+        .col("VC")
+        .col("TPI")
+        .col("HW")
+        .col("HW cycles");
+    double worst = 0, sum = 0;
+    int n = 0;
+    for (const std::string &name : workloads::benchmarkNames()) {
+        Cycles hw = 0;
+        double cells[5] = {0, 0, 0, 0, 0};
+        int idx = 0;
+        for (SchemeKind k : {SchemeKind::Base, SchemeKind::SC,
+                             SchemeKind::VC, SchemeKind::TPI,
+                             SchemeKind::HW})
+        {
+            sim::RunResult r = runBenchmark(name, makeConfig(k));
+            requireSound(r, name);
+            if (k == SchemeKind::HW)
+                hw = r.cycles;
+            cells[idx++] = double(r.cycles);
+        }
+        t.row().cell(name);
+        for (int i = 0; i < 5; ++i)
+            t.cell(cells[i] / double(hw), 2);
+        t.cell(hw);
+        double ratio = cells[3] / double(hw);
+        worst = std::max(worst, ratio);
+        sum += ratio;
+        ++n;
+    }
+    t.print(std::cout);
+    std::cout << csprintf(
+        "\nTPI/HW geomean-ish average %.2f, worst %.2f - the HSCD "
+        "scheme tracks the directory without directory storage.\n",
+        sum / n, worst);
+    return 0;
+}

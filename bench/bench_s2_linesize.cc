@@ -1,0 +1,59 @@
+/**
+ * @file
+ * S2: cache line size sweep. Word-granularity TPI has no false sharing
+ * at any line size; the line-granularity directory accumulates
+ * false-sharing misses as lines widen.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+#include "workloads/workloads.hh"
+
+using namespace hscd;
+using namespace hscd::bench;
+
+int
+main()
+{
+    MachineConfig cfg = makeConfig(SchemeKind::TPI);
+    printHeader(std::cout, "S2",
+                "line-size sweep: miss rate and false sharing", cfg);
+
+    TextTable t;
+    t.col("benchmark", TextTable::Align::Left)
+        .col("line B")
+        .col("TPI miss%")
+        .col("HW miss%")
+        .col("HW false%")
+        .col("TPI falseShare");
+    for (const std::string &name : workloads::benchmarkNames()) {
+        for (unsigned line : {4u, 16u, 64u}) {
+            MachineConfig ctpi = makeConfig(SchemeKind::TPI);
+            ctpi.lineBytes = line;
+            MachineConfig chw = makeConfig(SchemeKind::HW);
+            chw.lineBytes = line;
+            sim::RunResult rt = runBenchmark(name, ctpi);
+            sim::RunResult rh = runBenchmark(name, chw);
+            requireSound(rt, name);
+            requireSound(rh, name);
+            double hw_false =
+                rh.readMisses ? 100.0 * double(rh.missFalseShare) /
+                                    double(rh.readMisses)
+                              : 0.0;
+            t.row()
+                .cell(name)
+                .cell(line)
+                .cell(100.0 * rt.readMissRate, 2)
+                .cell(100.0 * rh.readMissRate, 2)
+                .cell(hw_false, 1)
+                .cell(rt.missFalseShare);
+        }
+        t.rule();
+    }
+    t.print(std::cout);
+    std::cout << "\nTPI's false-sharing column must be identically zero "
+                 "(coherence is per word).\n";
+    return 0;
+}

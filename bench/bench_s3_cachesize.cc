@@ -1,0 +1,53 @@
+/**
+ * @file
+ * S3: cache-size sweep, 16 KB to 1 MB. Coherence misses are insensitive
+ * to capacity, so the TPI/HW gap is stable while replacement misses
+ * vanish with size.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+#include "workloads/workloads.hh"
+
+using namespace hscd;
+using namespace hscd::bench;
+
+int
+main()
+{
+    MachineConfig cfg = makeConfig(SchemeKind::TPI);
+    printHeader(std::cout, "S3", "cache-size sweep (16KB - 1MB)", cfg);
+
+    TextTable t;
+    t.col("benchmark", TextTable::Align::Left).col("KB");
+    t.col("TPI miss%").col("TPI repl%").col("HW miss%").col("HW repl%");
+    for (const std::string &name : workloads::benchmarkNames()) {
+        for (std::uint64_t kb : {16u, 64u, 256u, 1024u}) {
+            MachineConfig ct = makeConfig(SchemeKind::TPI);
+            ct.cacheBytes = kb * 1024;
+            MachineConfig ch = makeConfig(SchemeKind::HW);
+            ch.cacheBytes = kb * 1024;
+            sim::RunResult rt = runBenchmark(name, ct);
+            sim::RunResult rh = runBenchmark(name, ch);
+            requireSound(rt, name);
+            requireSound(rh, name);
+            auto repl = [](const sim::RunResult &r) {
+                return r.readMisses ? 100.0 * double(r.missReplacement) /
+                                          double(r.readMisses)
+                                    : 0.0;
+            };
+            t.row()
+                .cell(name)
+                .cell(kb)
+                .cell(100.0 * rt.readMissRate, 2)
+                .cell(repl(rt), 1)
+                .cell(100.0 * rh.readMissRate, 2)
+                .cell(repl(rh), 1);
+        }
+        t.rule();
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,74 @@
+#include "harness.hh"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "workloads/workloads.hh"
+
+namespace hscd {
+namespace bench {
+
+MachineConfig
+makeConfig(SchemeKind scheme)
+{
+    MachineConfig c; // defaults are the paper's Figure 8 values
+    c.scheme = scheme;
+    return c;
+}
+
+void
+printHeader(std::ostream &os, const std::string &experiment,
+            const std::string &what, const MachineConfig &cfg)
+{
+    os << "== " << experiment << ": " << what << " ==\n";
+    os << csprintf(
+        "config (Figure 8): %d procs | %dKB %s cache, %dB lines | "
+        "hit %d cy | base miss %d cy | %d-bit timetags | two-phase reset "
+        "%d cy | Kruskal-Snir MIN radix %d\n",
+        cfg.procs, cfg.cacheBytes / 1024,
+        cfg.assoc == 1 ? "direct-mapped"
+                       : csprintf("%d-way", cfg.assoc).c_str(),
+        cfg.lineBytes, cfg.hitCycles, cfg.baseMissCycles, cfg.timetagBits,
+        cfg.twoPhaseResetCycles, cfg.networkRadix);
+}
+
+const compiler::CompiledProgram &
+compiledBenchmark(const std::string &name, int scale, bool affinity)
+{
+    using Key = std::tuple<std::string, int, bool>;
+    static std::map<Key, std::unique_ptr<compiler::CompiledProgram>> cache;
+    Key key{toLower(name), scale, affinity};
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        compiler::AnalysisOptions opts;
+        opts.assumeSerialAffinity = affinity;
+        auto cp = std::make_unique<compiler::CompiledProgram>(
+            compiler::compileProgram(
+                workloads::buildBenchmark(name, scale), opts));
+        it = cache.emplace(std::move(key), std::move(cp)).first;
+    }
+    return *it->second;
+}
+
+sim::RunResult
+runBenchmark(const std::string &name, const MachineConfig &cfg, int scale,
+             bool affinity)
+{
+    return sim::simulate(compiledBenchmark(name, scale, affinity), cfg);
+}
+
+void
+requireSound(const sim::RunResult &r, const std::string &label)
+{
+    if (r.oracleViolations != 0 || r.doallViolations != 0) {
+        warn("%s: %d oracle / %d race violations - experiment invalid",
+             label, r.oracleViolations, r.doallViolations);
+        std::exit(2);
+    }
+}
+
+} // namespace bench
+} // namespace hscd

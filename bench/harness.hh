@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared harness for the experiment binaries: Figure 8 configuration
+ * header, cached benchmark compilation, and run helpers.
+ */
+
+#ifndef HSCD_BENCH_HARNESS_HH
+#define HSCD_BENCH_HARNESS_HH
+
+#include <ostream>
+#include <string>
+
+#include "compiler/analysis.hh"
+#include "sim/machine.hh"
+
+namespace hscd {
+namespace bench {
+
+/** The paper's Figure 8 defaults for one scheme. */
+MachineConfig makeConfig(SchemeKind scheme);
+
+/** Print the experiment banner plus the Figure 8 configuration table. */
+void printHeader(std::ostream &os, const std::string &experiment,
+                 const std::string &what, const MachineConfig &cfg);
+
+/**
+ * Compile (and cache) a named Perfect-Club-like benchmark. @p affinity
+ * selects the serial-affinity compilation mode.
+ */
+const compiler::CompiledProgram &
+compiledBenchmark(const std::string &name, int scale = 2,
+                  bool affinity = true);
+
+/** Run one benchmark under one configuration. */
+sim::RunResult runBenchmark(const std::string &name,
+                            const MachineConfig &cfg, int scale = 2,
+                            bool affinity = true);
+
+/**
+ * Fail loudly (nonzero exit) if a run violated coherence - every
+ * experiment doubles as an end-to-end check.
+ */
+void requireSound(const sim::RunResult &r, const std::string &label);
+
+} // namespace bench
+} // namespace hscd
+
+#endif // HSCD_BENCH_HARNESS_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Walkthrough of the paper's motivating example (its Figure 1 / Section
+ * 2 discussion): a four-epoch program in which
+ *
+ *   - the read of X in epoch 2 follows a parallel write in epoch 1
+ *     (a stale-reference sequence: must be marked),
+ *   - the reads in epoch 3 "are issued by the same processor" as the
+ *     epoch-1 writes, but the compiler cannot prove the scheduling -
+ *     the TPI timetags recover those hits at run time,
+ *   - the read of X(f(i)) in epoch 4 "cannot be analyzed precisely at
+ *     compile time due to the unknown index value".
+ *
+ * The example prints the compiler's verdict for each reference and then
+ * runs the program under SC and TPI to show the hardware recovering what
+ * the compiler had to give up.
+ */
+
+#include <iostream>
+
+#include "compiler/analysis.hh"
+#include "hir/builder.hh"
+#include "hir/printer.hh"
+#include "sim/machine.hh"
+
+using namespace hscd;
+
+int
+main()
+{
+    const std::int64_t n = 256;
+    hir::ProgramBuilder b;
+    b.param("N", n);
+    b.array("X", {"N"});
+    b.array("Y", {"N"});
+
+    hir::RefId read2 = hir::invalidRef;
+    hir::RefId read3 = hir::invalidRef;
+    hir::RefId read4 = hir::invalidRef;
+
+    b.proc("MAIN", [&] {
+        // Epoch 1: DOALL writes X.
+        b.doall("i1", 0, n - 1, [&] {
+            b.compute(2);
+            b.write("X", {b.v("i1")});
+        });
+        // Epoch 2: reads X written one epoch ago -> Time-Read(d).
+        b.doall("i2", 0, n - 1, [&] {
+            read2 = b.read("X", {b.v("i2")});
+            b.write("Y", {b.v("i2")});
+        });
+        // Epoch 3: the same elements again; with an affine schedule the
+        // same processor re-reads its epoch-2 data, but the compiler
+        // cannot know the scheduling, so this is marked too.
+        b.doall("i3", 0, n - 1, [&] {
+            read3 = b.read("X", {b.v("i3")});
+            b.compute(3);
+        });
+        // Epoch 4: X(f(i)) - unanalyzable subscript, whole-array threat.
+        b.doall("i4", 0, n - 1, [&] {
+            read4 = b.read("X", {b.unknown()});
+        });
+    });
+
+    compiler::CompiledProgram cp = compiler::compileProgram(b.build());
+    std::cout << hir::programToString(cp.program) << "\n";
+    std::cout << "compiler verdicts (the paper's discussion, verbatim):\n";
+    std::cout << "  epoch-2 read X(i): "
+              << cp.marking.mark(read2).str() << "\n";
+    std::cout << "  epoch-3 read X(i): "
+              << cp.marking.mark(read3).str()
+              << "   <- same processor at run time, unknowable "
+                 "statically\n";
+    std::cout << "  epoch-4 read X(f(i)): "
+              << cp.marking.mark(read4).str()
+              << "   <- unknown subscript\n\n";
+
+    for (SchemeKind k : {SchemeKind::SC, SchemeKind::TPI}) {
+        MachineConfig cfg;
+        cfg.scheme = k;
+        sim::RunResult r = sim::simulate(cp, cfg);
+        double hit = r.timeReads
+                         ? 100.0 * double(r.timeReadHits) /
+                               double(r.timeReads)
+                         : 0.0;
+        std::cout << schemeName(k) << ": miss rate "
+                  << 100.0 * r.readMissRate << "%, marked-read hit rate "
+                  << hit << "%, cycles " << r.cycles
+                  << (k == SchemeKind::TPI
+                          ? "  <- timetags recover the epoch-3 reuse"
+                          : "")
+                  << "\n";
+        if (r.oracleViolations)
+            return 1;
+    }
+    return 0;
+}

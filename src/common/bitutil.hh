@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small bit-twiddling helpers used by the cache and network models.
+ */
+
+#ifndef HSCD_COMMON_BITUTIL_HH
+#define HSCD_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+namespace hscd {
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); 0 for v == 0 (callers must check). */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(log2(v)). */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** A mask with the low @p bits bits set. */
+constexpr std::uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** Round @p v up to the next multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace hscd
+
+#endif // HSCD_COMMON_BITUTIL_HH

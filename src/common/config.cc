@@ -1,0 +1,112 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace hscd {
+
+Params &
+Params::define(const std::string &key, const std::string &def,
+               const std::string &desc)
+{
+    auto [it, inserted] = _entries.emplace(key, Entry{def, desc});
+    if (!inserted)
+        fatal("parameter '%s' defined twice", key);
+    (void)it;
+    _order.push_back(key);
+    return *this;
+}
+
+void
+Params::set(const std::string &key, const std::string &value)
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        fatal("unknown parameter '%s'", key);
+    it->second.value = value;
+}
+
+void
+Params::parseAssignment(const std::string &kv)
+{
+    auto eq = kv.find('=');
+    if (eq == std::string::npos)
+        fatal("expected key=value, got '%s'", kv);
+    set(trim(kv.substr(0, eq)), trim(kv.substr(eq + 1)));
+}
+
+void
+Params::parseArgs(const std::vector<std::string> &args)
+{
+    for (const std::string &a : args)
+        parseAssignment(a);
+}
+
+bool
+Params::has(const std::string &key) const
+{
+    return _entries.count(key) != 0;
+}
+
+const Params::Entry &
+Params::entry(const std::string &key) const
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        fatal("unknown parameter '%s'", key);
+    return it->second;
+}
+
+std::string
+Params::getString(const std::string &key) const
+{
+    return entry(key).value;
+}
+
+std::int64_t
+Params::getInt(const std::string &key) const
+{
+    const std::string &v = entry(key).value;
+    char *end = nullptr;
+    std::int64_t out = std::strtoll(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        fatal("parameter '%s': '%s' is not an integer", key, v);
+    return out;
+}
+
+std::uint64_t
+Params::getUint(const std::string &key) const
+{
+    std::int64_t v = getInt(key);
+    if (v < 0)
+        fatal("parameter '%s' must be non-negative, got %d", key, v);
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+Params::getDouble(const std::string &key) const
+{
+    const std::string &v = entry(key).value;
+    char *end = nullptr;
+    double out = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        fatal("parameter '%s': '%s' is not a number", key, v);
+    return out;
+}
+
+bool
+Params::getBool(const std::string &key) const
+{
+    return parseBool(entry(key).value);
+}
+
+std::string
+Params::describe(const std::string &key) const
+{
+    const Entry &e = entry(key);
+    return csprintf("%s=%s  # %s", key, e.value, e.desc);
+}
+
+} // namespace hscd

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Typed key/value parameter store.
+ *
+ * Benches and examples describe machine configurations as "key=value"
+ * strings; Params validates keys against registered defaults so typos are
+ * fatal() instead of silently ignored.
+ */
+
+#ifndef HSCD_COMMON_CONFIG_HH
+#define HSCD_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hscd {
+
+class Params
+{
+  public:
+    Params() = default;
+
+    /** Register a key with a default value (defines the schema). */
+    Params &define(const std::string &key, const std::string &def,
+                   const std::string &desc = "");
+
+    /** Set a key that must already be defined. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Parse "k=v" (one assignment). */
+    void parseAssignment(const std::string &kv);
+
+    /** Parse many assignments, e.g. from argv[1..]. */
+    void parseArgs(const std::vector<std::string> &args);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key) const;
+    std::int64_t getInt(const std::string &key) const;
+    std::uint64_t getUint(const std::string &key) const;
+    double getDouble(const std::string &key) const;
+    bool getBool(const std::string &key) const;
+
+    /** All keys in definition order (for help text). */
+    const std::vector<std::string> &keys() const { return _order; }
+    std::string describe(const std::string &key) const;
+
+  private:
+    struct Entry
+    {
+        std::string value;
+        std::string desc;
+    };
+
+    const Entry &entry(const std::string &key) const;
+
+    std::map<std::string, Entry> _entries;
+    std::vector<std::string> _order;
+};
+
+} // namespace hscd
+
+#endif // HSCD_COMMON_CONFIG_HH

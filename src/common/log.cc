@@ -1,0 +1,16 @@
+#include "common/log.hh"
+
+#include <cstdio>
+
+namespace hscd {
+
+int Log::level = 1;
+bool Log::throwOnPanic = true;
+
+void
+Log::emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+} // namespace hscd

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Status / error reporting in the gem5 style.
+ *
+ * fatal() is for user errors (bad configuration) and throws FatalError so
+ * tests can assert on it; panic() is for internal invariant violations and
+ * aborts in release binaries but also throws PanicError when
+ * Log::throwOnPanic is set (the default under the test harness).
+ */
+
+#ifndef HSCD_COMMON_LOG_HH
+#define HSCD_COMMON_LOG_HH
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "common/strutil.hh"
+
+namespace hscd {
+
+/** Exception carrying a fatal (user-caused) error. */
+struct FatalError : std::runtime_error
+{
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception carrying a panic (internal bug) error. */
+struct PanicError : std::logic_error
+{
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Global logging knobs. */
+class Log
+{
+  public:
+    /** Verbosity: 0 quiet, 1 inform, 2 debug. */
+    static int level;
+    /** Throw PanicError instead of aborting (set by tests). */
+    static bool throwOnPanic;
+
+    static void emit(const char *tag, const std::string &msg);
+};
+
+/** Informative message (level >= 1). */
+template <typename... Args>
+void
+inform(const std::string &fmt, const Args &...args)
+{
+    if (Log::level >= 1)
+        Log::emit("info", csprintf(fmt, args...));
+}
+
+/** Debug chatter (level >= 2). */
+template <typename... Args>
+void
+debugf(const std::string &fmt, const Args &...args)
+{
+    if (Log::level >= 2)
+        Log::emit("debug", csprintf(fmt, args...));
+}
+
+/** Something works but deserves suspicion. */
+template <typename... Args>
+void
+warn(const std::string &fmt, const Args &...args)
+{
+    Log::emit("warn", csprintf(fmt, args...));
+}
+
+/** User error: the run cannot continue. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const std::string &fmt, const Args &...args)
+{
+    const std::string msg = csprintf(fmt, args...);
+    Log::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Internal bug: this should never happen. */
+template <typename... Args>
+[[noreturn]] void
+panic(const std::string &fmt, const Args &...args)
+{
+    const std::string msg = csprintf(fmt, args...);
+    Log::emit("panic", msg);
+    if (Log::throwOnPanic)
+        throw PanicError(msg);
+    std::abort();
+}
+
+/** assert-with-message that survives NDEBUG builds. */
+#define hscd_assert(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::hscd::panic("assertion failed: %s: %s", #cond,                 \
+                          ::hscd::csprintf(__VA_ARGS__));                    \
+    } while (0)
+
+} // namespace hscd
+
+#endif // HSCD_COMMON_LOG_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be bit-reproducible across platforms, so we avoid
+ * std::mt19937 distribution implementations (which are not specified
+ * exactly for all distributions) and use a small PCG32 generator with
+ * hand-rolled bounded sampling.
+ */
+
+#ifndef HSCD_COMMON_RNG_HH
+#define HSCD_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace hscd {
+
+/** SplitMix64: used to seed/expand user seeds. */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * PCG32 (O'Neill): small, fast, statistically solid, reproducible.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        std::uint64_t s = seed;
+        _state = splitmix64(s);
+        _inc = (splitmix64(s) ^ stream) | 1ULL;
+        next32();
+    }
+
+    /** Next raw 32 random bits. */
+    std::uint32_t
+    next32()
+    {
+        std::uint64_t old = _state;
+        _state = old * 6364136223846793005ULL + _inc;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Next raw 64 random bits. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next32()) << 32) | next32();
+    }
+
+    /** Uniform integer in [0, bound), bias-free (Lemire rejection). */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        if (bound <= 1)
+            return 0;
+        std::uint64_t m = std::uint64_t{next32()} * bound;
+        std::uint32_t l = static_cast<std::uint32_t>(m);
+        if (l < bound) {
+            std::uint32_t t = -bound % bound;
+            while (l < t) {
+                m = std::uint64_t{next32()} * bound;
+                l = static_cast<std::uint32_t>(m);
+            }
+        }
+        return static_cast<std::uint32_t>(m >> 32);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint32_t>(hi - lo + 1)));
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    real()
+    {
+        return (next64() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t _state;
+    std::uint64_t _inc;
+};
+
+} // namespace hscd
+
+#endif // HSCD_COMMON_RNG_HH

@@ -1,0 +1,150 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace stats {
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    hscd_assert(parent != nullptr, "stat '%s' needs a parent group", _name);
+    parent->addStat(this);
+}
+
+std::string
+Scalar::render() const
+{
+    return std::to_string(_value);
+}
+
+std::string
+Average::render() const
+{
+    return csprintf("%.4f (n=%d)", mean(), _count);
+}
+
+Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
+                     double max, unsigned buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      _max(max), _bins(buckets, 0)
+{
+    hscd_assert(max > 0 && buckets > 0, "bad histogram shape");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    if (v >= _max) {
+        ++_overflow;
+        return;
+    }
+    auto idx = static_cast<std::size_t>(v / _max * _bins.size());
+    if (idx >= _bins.size())
+        idx = _bins.size() - 1;
+    ++_bins[idx];
+}
+
+std::string
+Histogram::render() const
+{
+    std::string out = csprintf("mean=%.3f n=%d [", mean(), _count);
+    for (std::size_t i = 0; i < _bins.size(); ++i)
+        out += (i ? " " : "") + std::to_string(_bins[i]);
+    out += csprintf(" | ovf=%d]", _overflow);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_bins.begin(), _bins.end(), 0);
+    _overflow = 0;
+    _count = 0;
+    _sum = 0;
+}
+
+Formula::Formula(StatGroup *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(parent, std::move(name), std::move(desc)), _fn(std::move(fn))
+{
+}
+
+std::string
+Formula::render() const
+{
+    return csprintf("%.6f", value());
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name))
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+void
+StatGroup::addStat(StatBase *stat)
+{
+    _stats.push_back(stat);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    _children.push_back(child);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string path = prefix.empty() ? _name : prefix + "." + _name;
+    for (const StatBase *s : _stats) {
+        os << path << "." << s->name() << " = " << s->render();
+        if (!s->desc().empty())
+            os << "   # " << s->desc();
+        os << "\n";
+    }
+    for (const StatGroup *g : _children)
+        g->dump(os, path);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : _stats)
+        s->reset();
+    for (StatGroup *g : _children)
+        g->resetAll();
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const StatBase *s : _stats)
+        if (s->name() == name)
+            return s;
+    return nullptr;
+}
+
+const StatBase *
+StatGroup::lookup(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos)
+        return find(path);
+    const std::string head = path.substr(0, dot);
+    const std::string rest = path.substr(dot + 1);
+    for (const StatGroup *g : _children)
+        if (g->name() == head)
+            return g->lookup(rest);
+    return nullptr;
+}
+
+} // namespace stats
+} // namespace hscd

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Counters register themselves with a StatGroup; groups nest and dump as an
+ * indented listing. Only the stat kinds the simulator needs are provided:
+ * scalar counters, averages, histograms, and derived formulas evaluated at
+ * dump time.
+ */
+
+#ifndef HSCD_COMMON_STATS_HH
+#define HSCD_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hscd {
+namespace stats {
+
+class StatGroup;
+
+/** Base class for every statistic. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Render the current value. */
+    virtual std::string render() const = 0;
+    /** Zero the statistic. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** Simple monotone counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(std::uint64_t v) { _value += v; return *this; }
+    void set(std::uint64_t v) { _value = v; }
+
+    std::uint64_t value() const { return _value; }
+    std::string render() const override;
+    void reset() override { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Mean of a stream of samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+
+    std::string render() const override;
+    void reset() override { _sum = 0; _count = 0; }
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+};
+
+/** Fixed-bucket histogram over [0, max) with @p buckets bins + overflow. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup *parent, std::string name, std::string desc,
+              double max, unsigned buckets);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    const std::vector<std::uint64_t> &bins() const { return _bins; }
+    std::uint64_t overflow() const { return _overflow; }
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    double _max;
+    std::vector<std::uint64_t> _bins;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0;
+};
+
+/** Value computed on demand from other stats. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return _fn(); }
+    std::string render() const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> _fn;
+};
+
+/**
+ * A named collection of statistics; groups form a tree rooted anywhere the
+ * caller likes (typically the Machine).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup() = default;
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Recursively print "path.stat = value # desc" lines. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Recursively reset all stats. */
+    void resetAll();
+
+    /** Find a directly-owned stat by name (nullptr if absent). */
+    const StatBase *find(const std::string &name) const;
+
+    /** Find a stat by dotted path relative to this group. */
+    const StatBase *lookup(const std::string &path) const;
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *stat);
+    void addChild(StatGroup *child);
+
+    std::string _name;
+    std::vector<StatBase *> _stats;
+    std::vector<StatGroup *> _children;
+};
+
+} // namespace stats
+} // namespace hscd
+
+#endif // HSCD_COMMON_STATS_HH

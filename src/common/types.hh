@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every hscd subsystem.
+ */
+
+#ifndef HSCD_COMMON_TYPES_HH
+#define HSCD_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace hscd {
+
+/** Byte address in the simulated shared address space. */
+using Addr = std::uint64_t;
+
+/** Simulated processor cycle count. */
+using Cycles = std::uint64_t;
+
+/** Signed cycle delta, used by latency arithmetic. */
+using CycleDelta = std::int64_t;
+
+/** Monotone epoch number as tracked by the simulator (unbounded). */
+using EpochId = std::uint64_t;
+
+/** Processor identifier, 0 .. P-1. */
+using ProcId = std::uint32_t;
+
+/** Saturating-free 64-bit event counter. */
+using Counter = std::uint64_t;
+
+/** Identifier of an invalid / absent processor. */
+constexpr ProcId invalidProc = static_cast<ProcId>(-1);
+
+} // namespace hscd
+
+#endif // HSCD_COMMON_TYPES_HH

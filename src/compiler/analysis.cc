@@ -1,0 +1,19 @@
+#include "compiler/analysis.hh"
+
+namespace hscd {
+namespace compiler {
+
+CompiledProgram
+compileProgram(hir::Program prog, const AnalysisOptions &opts)
+{
+    CompiledProgram out;
+    out.graph = EpochGraph::build(prog, opts.symbolicParams);
+    out.marking = Marking::run(prog, out.graph, opts);
+    out.summaries = summarizeProcedures(prog);
+    out.options = opts;
+    out.program = std::move(prog);
+    return out;
+}
+
+} // namespace compiler
+} // namespace hscd

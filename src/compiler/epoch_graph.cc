@@ -1,0 +1,557 @@
+#include "compiler/epoch_graph.hh"
+
+#include <deque>
+#include <map>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace compiler {
+
+using hir::ArrayRefStmt;
+using hir::BarrierStmt;
+using hir::CallStmt;
+using hir::CriticalStmt;
+using hir::IfUnknownStmt;
+using hir::IntExpr;
+using hir::LoopStmt;
+using hir::Program;
+using hir::Range;
+using hir::Stmt;
+using hir::StmtKind;
+using hir::StmtList;
+
+/**
+ * See epoch_graph.hh.
+ *
+ * Returns false when some dimension proves both references always land in
+ * the same task (equal coefficient on the DOALL index and zero constant
+ * difference), or proves different tasks can never collide (constant
+ * difference not a multiple of the coefficient).
+ */
+bool
+mayCrossTaskCollide(const RefOccur &r, const RefOccur &w,
+                     const std::string &par_var)
+{
+    const auto &rs = r.stmt->subs;
+    const auto &ws = w.stmt->subs;
+    hscd_assert(rs.size() == ws.size(), "rank mismatch");
+    // DOALL index values form the lattice lo + k*step: two distinct
+    // tasks' indices differ by a nonzero multiple of the step.
+    std::int64_t step = 1;
+    for (const LoopCtx &lc : r.loops) {
+        if (lc.parallel && lc.var == par_var) {
+            step = lc.step;
+            break;
+        }
+    }
+    for (std::size_t d = 0; d < rs.size(); ++d) {
+        std::int64_t cr = rs[d].coeff(par_var);
+        std::int64_t cw = ws[d].coeff(par_var);
+        if (cr == 0 || cw == 0 || cr != cw)
+            continue;
+        auto delta = rs[d].constantDifference(ws[d]);
+        if (!delta)
+            continue; // residual varies; cannot separate tasks here
+        if (*delta == 0)
+            return false; // same task, same location in this dim
+        if (*delta % cr != 0)
+            return false; // not on the coefficient lattice
+        if ((*delta / cr) % step != 0)
+            return false; // off the iteration lattice: no collision
+        // delta = cr*step*m, m != 0: the read touches another task's
+        // element; a legal DOALL cannot do that, but the compiler stays
+        // conservative and reports a conflict.
+        return true;
+    }
+    // No dimension separates the tasks: conservative conflict.
+    return true;
+}
+
+
+std::string
+EpochNode::label() const
+{
+    if (parallel)
+        return csprintf("E%d(DOALL %s)", id, parallelVar);
+    return csprintf("E%d(serial)", id);
+}
+
+namespace {
+
+/** Set of locations definitely written by the current task so far. */
+class CoverState
+{
+  public:
+    void
+    add(hir::ArrayId array, const std::vector<IntExpr> &subs)
+    {
+        for (const IntExpr &e : subs)
+            if (e.hasUnknown())
+                return; // can't prove the same location later
+        if (!covers(array, subs))
+            _writes.emplace_back(array, subs);
+    }
+
+    bool
+    covers(hir::ArrayId array, const std::vector<IntExpr> &subs) const
+    {
+        for (const auto &[a, s] : _writes)
+            if (a == array && s == subs)
+                return true;
+        return false;
+    }
+
+    void clear() { _writes.clear(); }
+    std::size_t size() const { return _writes.size(); }
+
+    /** Drop entries added after @p snapshot whose subscripts use @p var,
+     *  or all of them when the loop may execute zero times. */
+    void
+    filterLoopExit(std::size_t snapshot, const std::string &var,
+                   bool at_least_one_trip)
+    {
+        std::size_t keep = snapshot;
+        for (std::size_t i = snapshot; i < _writes.size(); ++i) {
+            bool uses_var = false;
+            for (const IntExpr &e : _writes[i].second)
+                if (e.coeff(var) != 0)
+                    uses_var = true;
+            if (!uses_var && at_least_one_trip) {
+                if (keep != i)
+                    _writes[keep] = std::move(_writes[i]);
+                ++keep;
+            }
+        }
+        _writes.resize(keep);
+    }
+
+    /** Keep only entries present in both (post-branch join). */
+    void
+    intersectWith(const CoverState &o)
+    {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < _writes.size(); ++i) {
+            if (o.covers(_writes[i].first, _writes[i].second)) {
+                if (keep != i)
+                    _writes[keep] = std::move(_writes[i]);
+                ++keep;
+            }
+        }
+        _writes.resize(keep);
+    }
+
+  private:
+    std::vector<std::pair<hir::ArrayId, std::vector<IntExpr>>> _writes;
+};
+
+} // namespace
+
+/** Builds the epoch flow graph by structural walk with virtual inlining. */
+class GraphBuilder
+{
+  public:
+    GraphBuilder(const Program &prog, bool symbolic_params)
+        : _prog(prog), _env(prog, symbolic_params)
+    {
+        _procBoundary.resize(prog.procedures().size(), -1);
+    }
+
+    EpochGraph
+    run()
+    {
+        _cur = newNode(false);
+        walk(_prog.main().body);
+        _graph.computeDistances();
+        return std::move(_graph);
+    }
+
+  private:
+    NodeId
+    newNode(bool parallel, const std::string &var = "")
+    {
+        EpochNode n;
+        n.id = static_cast<NodeId>(_graph._nodes.size());
+        n.parallel = parallel;
+        n.parallelVar = var;
+        _graph._nodes.push_back(std::move(n));
+        return _graph._nodes.back().id;
+    }
+
+    void
+    link(NodeId from, NodeId to, std::uint32_t w)
+    {
+        _graph._nodes[from].succs.push_back(EpochEdge{to, w});
+    }
+
+    bool
+    procHasBoundary(hir::ProcIndex p)
+    {
+        if (_procBoundary[p] >= 0)
+            return _procBoundary[p] != 0;
+        _procBoundary[p] = 0; // acyclic call graph: safe to seed
+        bool b = listHasBoundary(_prog.procedures()[p].body);
+        _procBoundary[p] = b ? 1 : 0;
+        return b;
+    }
+
+    bool
+    listHasBoundary(const StmtList &body)
+    {
+        for (const auto &s : body) {
+            switch (s->kind()) {
+              case StmtKind::Loop: {
+                const auto &l = static_cast<const LoopStmt &>(*s);
+                if (l.parallel || listHasBoundary(l.body))
+                    return true;
+                break;
+              }
+              case StmtKind::Barrier:
+                return true;
+              case StmtKind::IfUnknown: {
+                const auto &br = static_cast<const IfUnknownStmt &>(*s);
+                if (listHasBoundary(br.thenBody) ||
+                    listHasBoundary(br.elseBody))
+                    return true;
+                break;
+              }
+              case StmtKind::Call: {
+                const auto &c = static_cast<const CallStmt &>(*s);
+                if (procHasBoundary(c.callee))
+                    return true;
+                break;
+              }
+              case StmtKind::Critical: {
+                const auto &c = static_cast<const CriticalStmt &>(*s);
+                if (listHasBoundary(c.body))
+                    return true;
+                break;
+              }
+              default:
+                break;
+            }
+        }
+        return false;
+    }
+
+    /** Is the loop guaranteed to execute at least one iteration? */
+    bool
+    atLeastOneTrip(const LoopStmt &l) const
+    {
+        auto lo = _env.rangeOf(l.lo);
+        auto hi = _env.rangeOf(l.hi);
+        return lo && hi && hi->lo >= lo->hi;
+    }
+
+    void
+    addRef(const ArrayRefStmt &ref)
+    {
+        RefOccur occ;
+        occ.ref = ref.id;
+        occ.stmt = &ref;
+        occ.loops = _loops;
+        occ.inCritical = _criticalDepth > 0;
+        occ.conditional = _condDepth > 0;
+        occ.section = sectionForRef(_prog, ref, _loops, _env);
+        if (ref.isWrite) {
+            if (_criticalDepth > 0) {
+                _criticalCover.add(ref.array, ref.subs);
+                _nodeCriticalWrites[_cur].add(occ.section);
+            } else {
+                _cover.add(ref.array, ref.subs);
+            }
+        } else {
+            occ.covered = _criticalDepth > 0
+                              ? _criticalCover.covers(ref.array, ref.subs)
+                              : _cover.covers(ref.array, ref.subs);
+        }
+        _graph._nodes[_cur].refs.push_back(std::move(occ));
+    }
+
+    void
+    pushLoopVar(const LoopStmt &l)
+    {
+        LoopCtx ctx{l.var, l.lo, l.hi, l.step, l.parallel};
+        _env.push(ctx);
+        _loops.push_back(std::move(ctx));
+    }
+
+    void
+    popLoopVar()
+    {
+        _env.pop();
+        _loops.pop_back();
+    }
+
+    void
+    walk(const StmtList &body)
+    {
+        for (const auto &s : body)
+            walkStmt(*s);
+    }
+
+    void
+    walkStmt(const Stmt &s)
+    {
+        switch (s.kind()) {
+          case StmtKind::ArrayRef:
+            addRef(static_cast<const ArrayRefStmt &>(s));
+            break;
+          case StmtKind::Compute:
+            break;
+          case StmtKind::Loop:
+            walkLoop(static_cast<const LoopStmt &>(s));
+            break;
+          case StmtKind::IfUnknown:
+            walkIf(static_cast<const IfUnknownStmt &>(s));
+            break;
+          case StmtKind::Call: {
+            const auto &c = static_cast<const CallStmt &>(s);
+            walk(_prog.procedures()[c.callee].body);
+            break;
+          }
+          case StmtKind::Critical: {
+            const auto &c = static_cast<const CriticalStmt &>(s);
+            ++_criticalDepth;
+            if (_criticalDepth == 1)
+                _criticalCover.clear();
+            walk(c.body);
+            --_criticalDepth;
+            if (_criticalDepth == 0)
+                _criticalCover.clear();
+            break;
+          }
+          case StmtKind::Barrier: {
+            NodeId next = newNode(false);
+            link(_cur, next, 1);
+            _cur = next;
+            _cover.clear();
+            break;
+          }
+          case StmtKind::Sync:
+            _graph._nodes[_cur].hasSync = true;
+            break;
+        }
+    }
+
+    void
+    walkLoop(const LoopStmt &l)
+    {
+        const bool demoted = l.parallel && _inParallel;
+        if (demoted)
+            warn("nested DOALL '%s' treated as serial (inner parallelism "
+                 "is not exploited)", l.var);
+
+        if (l.parallel && !_inParallel) {
+            // A DOALL: its own epoch, bracketed by boundaries.
+            NodeId p = newNode(true, l.var);
+            link(_cur, p, 1);
+            _cur = p;
+            pushLoopVar(l);
+            CoverState saved = std::move(_cover);
+            _cover.clear();
+            _inParallel = true;
+            walk(l.body);
+            _inParallel = false;
+            _cover.clear();
+            popLoopVar();
+            NodeId after = newNode(false);
+            link(p, after, 1);
+            _cur = after;
+            (void)saved; // coverage does not survive epoch boundaries
+            return;
+        }
+
+        const bool boundary = !_inParallel && listHasBoundary(l.body);
+        if (!boundary) {
+            // Entirely inside the current epoch.
+            pushLoopVar(l);
+            std::size_t snapshot = _cover.size();
+            walk(l.body);
+            _cover.filterLoopExit(snapshot, l.var, atLeastOneTrip(l));
+            popLoopVar();
+            return;
+        }
+
+        // Serial loop spanning epochs.
+        NodeId pre = _cur;
+        NodeId head = newNode(false);
+        link(pre, head, 0);
+        _cur = head;
+        _cover.clear();
+        pushLoopVar(l);
+        walk(l.body);
+        popLoopVar();
+        NodeId tail = _cur;
+        link(tail, head, 0); // next iteration
+        NodeId exit = newNode(false);
+        link(tail, exit, 0);
+        if (!atLeastOneTrip(l))
+            link(pre, exit, 0); // zero-trip bypass
+        _cur = exit;
+        _cover.clear();
+    }
+
+    void
+    walkIf(const IfUnknownStmt &br)
+    {
+        const bool boundary = !_inParallel && (listHasBoundary(br.thenBody) ||
+                                               listHasBoundary(br.elseBody));
+        if (!boundary) {
+            ++_condDepth;
+            CoverState entry = _cover;
+            walk(br.thenBody);
+            CoverState then_out = std::move(_cover);
+            _cover = entry;
+            walk(br.elseBody);
+            _cover.intersectWith(then_out);
+            --_condDepth;
+            return;
+        }
+
+        NodeId base = _cur;
+        _cover.clear();
+
+        NodeId then_entry = newNode(false);
+        link(base, then_entry, 0);
+        _cur = then_entry;
+        walk(br.thenBody);
+        NodeId then_out = _cur;
+
+        NodeId else_out = base;
+        if (!br.elseBody.empty()) {
+            NodeId else_entry = newNode(false);
+            link(base, else_entry, 0);
+            _cur = else_entry;
+            _cover.clear();
+            walk(br.elseBody);
+            else_out = _cur;
+        }
+
+        NodeId join = newNode(false);
+        link(then_out, join, 0);
+        link(else_out, join, 0);
+        _cur = join;
+        _cover.clear();
+    }
+
+  public:
+    /** Per-node sections written inside critical sections (post-filter). */
+    std::map<NodeId, SectionSet> _nodeCriticalWrites;
+
+  private:
+    const Program &_prog;
+    EpochGraph _graph;
+    NodeId _cur = invalidNode;
+    std::vector<LoopCtx> _loops;
+    VarRangeEnv _env;
+    int _criticalDepth = 0;
+    int _condDepth = 0;
+    bool _inParallel = false;
+    CoverState _cover;
+    CoverState _criticalCover;
+    std::vector<int> _procBoundary;
+};
+
+EpochGraph
+EpochGraph::build(const Program &prog, bool symbolic_params)
+{
+    GraphBuilder b(prog, symbolic_params);
+    EpochGraph g = b.run();
+
+    // Coverage post-filter: a non-critical covered read loses its coverage
+    // when a critical-section write in the same epoch may touch the same
+    // location (lock-serialized writers may intervene between the covering
+    // write and the read).
+    for (auto &[node, writes] : b._nodeCriticalWrites) {
+        for (RefOccur &occ : g._nodes[node].refs) {
+            if (!occ.stmt->isWrite && occ.covered && !occ.inCritical &&
+                writes.mayOverlap(occ.section))
+                occ.covered = false;
+        }
+    }
+
+    // Post/wait epochs: another task's write to the covered word may be
+    // ordered between the covering write and the read, so coverage only
+    // survives when no other task can collide on the word.
+    for (EpochNode &node : g._nodes) {
+        if (!node.hasSync || !node.parallel)
+            continue;
+        for (RefOccur &occ : node.refs) {
+            if (occ.stmt->isWrite || !occ.covered)
+                continue;
+            for (const RefOccur &w : node.refs) {
+                if (!w.stmt->isWrite ||
+                    w.stmt->array != occ.stmt->array)
+                    continue;
+                if (mayCrossTaskCollide(occ, w, node.parallelVar)) {
+                    occ.covered = false;
+                    break;
+                }
+            }
+        }
+    }
+    return g;
+}
+
+void
+EpochGraph::computeDistances()
+{
+    const std::size_t n = _nodes.size();
+    _dist.assign(n, std::vector<std::uint32_t>(n, unreachableDist));
+    for (NodeId src = 0; src < n; ++src) {
+        auto &dist = _dist[src];
+        std::deque<NodeId> dq;
+        dist[src] = 0;
+        dq.push_back(src);
+        while (!dq.empty()) {
+            NodeId u = dq.front();
+            dq.pop_front();
+            for (const EpochEdge &e : _nodes[u].succs) {
+                std::uint32_t nd = dist[u] + e.weight;
+                if (nd < dist[e.to]) {
+                    dist[e.to] = nd;
+                    if (e.weight == 0)
+                        dq.push_front(e.to);
+                    else
+                        dq.push_back(e.to);
+                }
+            }
+        }
+    }
+}
+
+std::uint32_t
+EpochGraph::distance(NodeId from, NodeId to) const
+{
+    return _dist[from][to];
+}
+
+std::uint32_t
+EpochGraph::cycleDistance(NodeId n) const
+{
+    std::uint32_t best = unreachableDist;
+    for (const EpochEdge &e : _nodes[n].succs) {
+        std::uint32_t back = _dist[e.to][n];
+        if (back != unreachableDist && e.weight + back < best)
+            best = e.weight + back;
+    }
+    return best;
+}
+
+std::string
+EpochGraph::str() const
+{
+    std::string out;
+    for (const EpochNode &n : _nodes) {
+        out += n.label() + ":";
+        for (const EpochEdge &e : n.succs)
+            out += csprintf(" ->E%d(w%d)", e.to, e.weight);
+        out += csprintf("  [%d refs]\n", n.refs.size());
+    }
+    return out;
+}
+
+} // namespace compiler
+} // namespace hscd

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The epoch flow graph [21]: the program partitioned into boundary-free
+ * code segments with control-flow edges weighted by the number of epoch
+ * boundaries crossed (0 within an epoch, 1 across a DOALL entry/exit or an
+ * explicit barrier).
+ *
+ * Nodes are either serial segments (executed by processor 0) or DOALL
+ * nodes (whose statements execute once per iteration, distributed over the
+ * processors). Procedure calls are virtually inlined, so a static
+ * reference (RefId) may occur in several nodes; the marking pass joins
+ * conservatively over the occurrences — this is exactly the
+ * interprocedural conservatism the paper describes.
+ */
+
+#ifndef HSCD_COMPILER_EPOCH_GRAPH_HH
+#define HSCD_COMPILER_EPOCH_GRAPH_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "compiler/secbuild.hh"
+#include "compiler/section.hh"
+#include "hir/program.hh"
+
+namespace hscd {
+namespace compiler {
+
+/** A static reference as it occurs in one epoch node. */
+struct RefOccur
+{
+    hir::RefId ref = hir::invalidRef;
+    const hir::ArrayRefStmt *stmt = nullptr;
+    /** Enclosing loops, outermost first (including the DOALL, if any). */
+    std::vector<LoopCtx> loops;
+    bool inCritical = false;
+    bool conditional = false;
+    /**
+     * True when an earlier same-task write to the identical affine
+     * location dominates this read within the same epoch (array data-flow
+     * coverage). Only meaningful for reads.
+     */
+    bool covered = false;
+    /** Section over the full iteration space of the enclosing loops. */
+    RegularSection section;
+};
+
+using NodeId = std::uint32_t;
+constexpr NodeId invalidNode = static_cast<NodeId>(-1);
+constexpr std::uint32_t unreachableDist =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** Edge with a boundary weight of 0 or 1. */
+struct EpochEdge
+{
+    NodeId to = invalidNode;
+    std::uint32_t weight = 0;
+};
+
+struct EpochNode
+{
+    NodeId id = invalidNode;
+    bool parallel = false;
+    /** DOALL index variable (parallel nodes only). */
+    std::string parallelVar;
+    /** Contains post/wait: cross-task same-word traffic is legal here. */
+    bool hasSync = false;
+    std::vector<RefOccur> refs;
+    std::vector<EpochEdge> succs;
+
+    std::string label() const;
+};
+
+/**
+ * May @p r (a read) and @p w (a write) of one DOALL node touch the same
+ * word from two different tasks within a single epoch instance? False
+ * when some dimension proves the same task (equal coefficient on the
+ * DOALL index, zero constant difference) or proves no collision on the
+ * iteration lattice.
+ */
+bool mayCrossTaskCollide(const RefOccur &r, const RefOccur &w,
+                         const std::string &par_var);
+
+class EpochGraph
+{
+  public:
+    /**
+     * Partition @p prog into the epoch flow graph. With
+     * @p symbolic_params the analysis uses declared parameter ranges
+     * instead of the bound values.
+     */
+    static EpochGraph build(const hir::Program &prog,
+                            bool symbolic_params = false);
+
+    const std::vector<EpochNode> &nodes() const { return _nodes; }
+    NodeId entry() const { return 0; }
+
+    /**
+     * Minimum number of epoch boundaries on any path from @p from to
+     * @p to (0 means "possibly within the same dynamic epoch");
+     * unreachableDist when no path exists.
+     */
+    std::uint32_t distance(NodeId from, NodeId to) const;
+
+    /**
+     * Minimum boundary count around any cycle through @p n back to @p n;
+     * unreachableDist when n is not in a cycle. Cycles always cross at
+     * least one boundary.
+     */
+    std::uint32_t cycleDistance(NodeId n) const;
+
+    /** Human-readable dump for the explorer example / diagnostics. */
+    std::string str() const;
+
+  private:
+    friend class GraphBuilder;
+
+    void computeDistances();
+
+    std::vector<EpochNode> _nodes;
+    /** _dist[a][b]: min boundary weight a -> b (0-1 BFS). */
+    std::vector<std::vector<std::uint32_t>> _dist;
+};
+
+} // namespace compiler
+} // namespace hscd
+
+#endif // HSCD_COMPILER_EPOCH_GRAPH_HH

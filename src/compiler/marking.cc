@@ -1,0 +1,225 @@
+#include "compiler/marking.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace compiler {
+
+std::string
+Mark::str() const
+{
+    switch (kind) {
+      case MarkKind::Normal:
+        switch (reason) {
+          case MarkReason::WriteRef:
+            return "write";
+          case MarkReason::Covered:
+            return "normal(covered)";
+          case MarkReason::SerialAffinity:
+            return "normal(affinity)";
+          default:
+            return "normal(read-only)";
+        }
+      case MarkKind::TimeRead:
+        return csprintf("time-read(d=%d)", distance);
+      case MarkKind::Bypass:
+        return reason == MarkReason::SyncOrdered ? "bypass(sync)"
+                                                 : "bypass(critical)";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Flat view of one occurrence with its owning node. */
+struct Occ
+{
+    const RefOccur *occ;
+    const EpochNode *node;
+};
+
+} // namespace
+
+Marking
+Marking::run(const hir::Program &prog, const EpochGraph &graph,
+             const AnalysisOptions &opts)
+{
+    Marking result;
+    result._marks.assign(prog.refCount(),
+                         Mark{MarkKind::Normal, MarkReason::ReadOnly, 0});
+
+    // Gather flat occurrence lists.
+    std::vector<Occ> reads, writes;
+    for (const EpochNode &node : graph.nodes()) {
+        for (const RefOccur &occ : node.refs) {
+            if (occ.stmt->isWrite)
+                writes.push_back({&occ, &node});
+            else
+                reads.push_back({&occ, &node});
+        }
+    }
+
+    // Writes keep the default write mark.
+    for (const Occ &w : writes)
+        result._marks[w.occ->ref] =
+            Mark{MarkKind::Normal, MarkReason::WriteRef, 0};
+
+    std::vector<bool> assigned(prog.refCount(), false);
+
+    auto severity = [](const Mark &m) {
+        // Higher is worse; TimeRead severity grows as distance shrinks.
+        switch (m.kind) {
+          case MarkKind::Normal:
+            return std::uint64_t{0};
+          case MarkKind::TimeRead:
+            return std::uint64_t{1} + (std::uint64_t{1} << 32) /
+                                          (std::uint64_t{m.distance} + 1);
+          case MarkKind::Bypass:
+            return ~std::uint64_t{0};
+        }
+        return std::uint64_t{0};
+    };
+
+    for (const Occ &r : reads) {
+        Mark m;
+        if (r.occ->covered) {
+            m = Mark{MarkKind::Normal, MarkReason::Covered, 0};
+        } else if (r.occ->inCritical) {
+            m = Mark{MarkKind::Bypass, MarkReason::Critical, 0};
+        } else {
+            std::uint32_t best = unreachableDist;
+            bool any = false;
+            bool affinity_skipped = false;
+            bool critical_same_node = false;
+            bool sync_same_node = false;
+            for (const Occ &w : writes) {
+                if (w.occ->stmt->array != r.occ->stmt->array)
+                    continue;
+                if (!w.occ->section.mayOverlap(r.occ->section))
+                    continue;
+
+                // Serial epochs are pinned to processor 0: a serial write
+                // can never leave a serial read's own copy stale (the
+                // write-allocate write-through cache keeps the writer's
+                // copy current). Per-threat exclusion keeps mixed
+                // serial/parallel writer sets precise.
+                if (opts.assumeSerialAffinity && !w.node->parallel &&
+                    !r.node->parallel)
+                {
+                    affinity_skipped = true;
+                    continue;
+                }
+
+                std::uint32_t d = unreachableDist;
+                if (w.node == r.node) {
+                    // Same static epoch. (a) same-instance conflicts:
+                    if (r.node->parallel) {
+                        if (w.occ->inCritical ||
+                            mayCrossTaskCollide(*r.occ, *w.occ,
+                                                r.node->parallelVar))
+                        {
+                            d = 0;
+                            if (w.occ->inCritical)
+                                critical_same_node = true;
+                            // With post/wait in the epoch, another task
+                            // may legally write this word mid-epoch: a
+                            // TT == EC copy could still predate it.
+                            if (r.node->hasSync)
+                                sync_same_node = true;
+                        }
+                    }
+                    // (b) cross-instance around a cycle:
+                    std::uint32_t dc = graph.cycleDistance(r.node->id);
+                    d = std::min(d, dc);
+                } else {
+                    d = graph.distance(w.node->id, r.node->id);
+                }
+                if (d == unreachableDist)
+                    continue;
+                any = true;
+                best = std::min(best, d);
+            }
+
+            if (!any) {
+                m = Mark{MarkKind::Normal,
+                         affinity_skipped ? MarkReason::SerialAffinity
+                                          : MarkReason::ReadOnly,
+                         0};
+            } else if (critical_same_node && best == 0) {
+                // Same-epoch lock-protected writers: only a full bypass is
+                // safe (a TT == EC copy may still predate the last writer).
+                m = Mark{MarkKind::Bypass, MarkReason::Critical, 0};
+            } else if (sync_same_node && best == 0) {
+                m = Mark{MarkKind::Bypass, MarkReason::SyncOrdered, 0};
+            } else {
+                m = Mark{MarkKind::TimeRead,
+                         best == 0 ? MarkReason::SameEpoch
+                                   : MarkReason::Stale,
+                         std::min(best, opts.maxDistance)};
+            }
+        }
+
+        Mark &joined = result._marks[r.occ->ref];
+        if (!assigned[r.occ->ref] || severity(m) > severity(joined)) {
+            joined = m;
+            assigned[r.occ->ref] = true;
+        }
+    }
+
+    // Statistics over final per-reference marks.
+    MarkingStats &st = result._stats;
+    for (hir::RefId id = 0; id < prog.refCount(); ++id) {
+        const Mark &m = result._marks[id];
+        if (m.reason == MarkReason::WriteRef) {
+            ++st.writes;
+            continue;
+        }
+        ++st.reads;
+        switch (m.kind) {
+          case MarkKind::Normal:
+            ++st.normal;
+            if (m.reason == MarkReason::Covered)
+                ++st.covered;
+            else if (m.reason == MarkReason::SerialAffinity)
+                ++st.affinity;
+            else
+                ++st.readOnly;
+            break;
+          case MarkKind::TimeRead: {
+            ++st.timeRead;
+            std::size_t bin =
+                std::min<std::size_t>(m.distance,
+                                      st.distanceHist.size() - 1);
+            ++st.distanceHist[bin];
+            break;
+          }
+          case MarkKind::Bypass:
+            ++st.bypass;
+            break;
+        }
+    }
+    return result;
+}
+
+std::string
+Marking::describe(const hir::Program &prog) const
+{
+    std::string out;
+    for (hir::RefId id = 0; id < prog.refCount(); ++id) {
+        const hir::RefInfo &info = prog.refInfo(id);
+        std::string subs;
+        for (std::size_t i = 0; i < info.stmt->subs.size(); ++i)
+            subs += (i ? "," : "") + info.stmt->subs[i].str();
+        out += csprintf("ref %-3d %s %s(%s): %s\n", id,
+                        info.stmt->isWrite ? "W" : "R",
+                        prog.array(info.stmt->array).name, subs,
+                        _marks[id].str());
+    }
+    return out;
+}
+
+} // namespace compiler
+} // namespace hscd

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Stale-reference detection and Time-Read marking.
+ *
+ * For every static read reference the pass decides how the hardware must
+ * treat it:
+ *
+ *  - Normal: provably fresh (read-only data, intra-task coverage by the
+ *    task's own dominating write, or serial-to-serial processor affinity).
+ *  - TimeRead(d): potentially stale; the latest conflicting write by a
+ *    possibly-different processor lies at least d epoch boundaries back,
+ *    so the TPI hardware may hit iff the word's timetag >= EC - d.
+ *  - Bypass: must always fetch from memory (lock-protected data).
+ *
+ * The same marking drives both the TPI and the SC schemes; SC simply
+ * cannot exploit the distance operand and refetches every marked read.
+ */
+
+#ifndef HSCD_COMPILER_MARKING_HH
+#define HSCD_COMPILER_MARKING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/epoch_graph.hh"
+
+namespace hscd {
+namespace compiler {
+
+enum class MarkKind : std::uint8_t
+{
+    Normal,
+    TimeRead,
+    Bypass,
+};
+
+enum class MarkReason : std::uint8_t
+{
+    WriteRef,        ///< writes carry no read mark
+    ReadOnly,        ///< no conflicting write reaches this read
+    Covered,         ///< dominated by the task's own write (same location)
+    SerialAffinity,  ///< all threats and the read execute on processor 0
+    Stale,           ///< cross-epoch conflicting write
+    SameEpoch,       ///< possibly-conflicting write in the same epoch
+    Critical,        ///< lock-protected data
+    SyncOrdered,     ///< data passed through post/wait synchronization
+};
+
+struct Mark
+{
+    MarkKind kind = MarkKind::Normal;
+    MarkReason reason = MarkReason::ReadOnly;
+    /** TimeRead epoch distance (valid when kind == TimeRead). */
+    std::uint32_t distance = 0;
+
+    std::string str() const;
+};
+
+struct AnalysisOptions
+{
+    /**
+     * Serial epochs are pinned to processor 0, so serial writes cannot
+     * leave another processor's copy stale for a serial read. Turn off
+     * when the runtime may migrate serial epochs (Section 5 study).
+     */
+    bool assumeSerialAffinity = true;
+    /** Cap for marked distances (the hardware window is bounded anyway). */
+    std::uint32_t maxDistance = 255;
+    /**
+     * Analyze against declared parameter ranges instead of the bound
+     * values: one conservative marking serves every problem size in
+     * range (separate-compilation style).
+     */
+    bool symbolicParams = false;
+};
+
+struct MarkingStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t normal = 0;
+    std::uint64_t timeRead = 0;
+    std::uint64_t bypass = 0;
+    std::uint64_t readOnly = 0;
+    std::uint64_t covered = 0;
+    std::uint64_t affinity = 0;
+    /** Histogram of TimeRead distances (index d, capped at 16). */
+    std::vector<std::uint64_t> distanceHist = std::vector<std::uint64_t>(17);
+};
+
+class Marking
+{
+  public:
+    /** Run the marking over a built epoch graph. */
+    static Marking run(const hir::Program &prog, const EpochGraph &graph,
+                       const AnalysisOptions &opts = {});
+
+    const Mark &mark(hir::RefId id) const { return _marks.at(id); }
+    const std::vector<Mark> &marks() const { return _marks; }
+    const MarkingStats &stats() const { return _stats; }
+
+    /** Per-reference table for the explorer example. */
+    std::string describe(const hir::Program &prog) const;
+
+  private:
+    std::vector<Mark> _marks;
+    MarkingStats _stats;
+};
+
+} // namespace compiler
+} // namespace hscd
+
+#endif // HSCD_COMPILER_MARKING_HH

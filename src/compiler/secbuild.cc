@@ -1,0 +1,99 @@
+#include "compiler/secbuild.hh"
+
+namespace hscd {
+namespace compiler {
+
+using hir::IntExpr;
+using hir::Range;
+
+VarRangeEnv::VarRangeEnv(const hir::Program &prog, bool symbolic_params)
+{
+    for (const auto &[name, value] : prog.params().vars()) {
+        _ranges[name] = symbolic_params ? prog.paramRange(name)
+                                        : Range{value, value};
+    }
+}
+
+void
+VarRangeEnv::push(const LoopCtx &loop)
+{
+    auto lo = rangeOf(loop.lo);
+    auto hi = rangeOf(loop.hi);
+    auto it = _ranges.find(loop.var);
+    if (it != _ranges.end())
+        _saves.emplace_back(loop.var, it->second);
+    else
+        _saves.emplace_back(loop.var, std::nullopt);
+    if (lo && hi)
+        _ranges[loop.var] = Range{lo->lo, hi->hi};
+    else
+        _ranges[loop.var] = std::nullopt;
+}
+
+void
+VarRangeEnv::pop()
+{
+    auto [var, saved] = std::move(_saves.back());
+    _saves.pop_back();
+    if (saved)
+        _ranges[var] = *saved;
+    else
+        _ranges.erase(var);
+}
+
+std::optional<Range>
+VarRangeEnv::rangeOf(const IntExpr &e) const
+{
+    if (e.hasUnknown())
+        return std::nullopt;
+    std::map<std::string, Range> known;
+    for (const auto &[v, r] : _ranges)
+        if (r)
+            known[v] = *r;
+    return e.range(known);
+}
+
+RegularSection
+sectionForRef(const hir::Program &prog, const hir::ArrayRefStmt &ref,
+              const std::vector<LoopCtx> &loops, const VarRangeEnv &env)
+{
+    std::vector<DimTriplet> dims;
+    dims.reserve(ref.subs.size());
+    for (std::size_t d = 0; d < ref.subs.size(); ++d) {
+        const IntExpr &e = ref.subs[d];
+        auto r = env.rangeOf(e);
+        if (!r) {
+            dims.push_back(
+                DimTriplet{0, prog.array(ref.array).dims[d] - 1, 1});
+            continue;
+        }
+        DimTriplet t{r->lo, r->hi, 1};
+        // Exactly one loop variable => strided access pattern.
+        std::string loop_var;
+        int loop_vars = 0;
+        for (const std::string &v : e.variables()) {
+            for (const LoopCtx &lc : loops) {
+                if (lc.var == v) {
+                    ++loop_vars;
+                    loop_var = v;
+                    break;
+                }
+            }
+        }
+        if (loop_vars == 1) {
+            std::int64_t step = 1;
+            for (const LoopCtx &lc : loops)
+                if (lc.var == loop_var)
+                    step = lc.step;
+            std::int64_t c = e.coeff(loop_var);
+            std::int64_t s = (c < 0 ? -c : c) * step;
+            if (s > 1)
+                t.stride = s;
+        }
+        dims.push_back(t);
+    }
+    return RegularSection(ref.array, std::move(dims));
+}
+
+} // namespace compiler
+} // namespace hscd

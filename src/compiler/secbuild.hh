@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers that turn a reference's affine subscripts plus its loop
+ * context into a bounded regular section. Used by the epoch flow graph
+ * builder and by the interprocedural summary pass.
+ */
+
+#ifndef HSCD_COMPILER_SECBUILD_HH
+#define HSCD_COMPILER_SECBUILD_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/section.hh"
+#include "hir/program.hh"
+
+namespace hscd {
+namespace compiler {
+
+/** One enclosing loop of a reference occurrence. */
+struct LoopCtx
+{
+    std::string var;
+    hir::IntExpr lo;
+    hir::IntExpr hi;
+    std::int64_t step = 1;
+    bool parallel = false;
+};
+
+/**
+ * Variable ranges visible at a program point. A mapped nullopt means the
+ * variable is live but its range is unknown (unanalyzable bounds).
+ */
+class VarRangeEnv
+{
+  public:
+    /**
+     * Seed with the program's parameters: their concrete values, or
+     * their declared ranges when @p symbolic_params is set (one marking
+     * for every size in range).
+     */
+    explicit VarRangeEnv(const hir::Program &prog,
+                         bool symbolic_params = false);
+    VarRangeEnv() = default;
+
+    /** Enter a loop: bind its index from the bound expressions. */
+    void push(const LoopCtx &loop);
+    /** Leave the innermost loop, restoring any shadowed binding. */
+    void pop();
+
+    /** Conservative range of @p e; nullopt for unknowns/unbound vars. */
+    std::optional<hir::Range> rangeOf(const hir::IntExpr &e) const;
+
+  private:
+    std::map<std::string, std::optional<hir::Range>> _ranges;
+    std::vector<std::pair<std::string, std::optional<std::optional<hir::Range>>>>
+        _saves;
+};
+
+/**
+ * Section over the full iteration space of @p loops for one reference.
+ * Unknown or unbounded subscripts widen to the whole dimension.
+ */
+RegularSection sectionForRef(const hir::Program &prog,
+                             const hir::ArrayRefStmt &ref,
+                             const std::vector<LoopCtx> &loops,
+                             const VarRangeEnv &env);
+
+} // namespace compiler
+} // namespace hscd
+
+#endif // HSCD_COMPILER_SECBUILD_HH

@@ -1,0 +1,240 @@
+#include "compiler/section.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace compiler {
+
+std::int64_t
+gcd64(std::int64_t a, std::int64_t b)
+{
+    a = a < 0 ? -a : a;
+    b = b < 0 ? -b : b;
+    while (b) {
+        std::int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+std::int64_t
+DimTriplet::count() const
+{
+    if (empty())
+        return 0;
+    return (hi - lo) / (stride > 0 ? stride : 1) + 1;
+}
+
+bool
+DimTriplet::mayOverlap(const DimTriplet &o) const
+{
+    if (empty() || o.empty())
+        return false;
+    // Bounding ranges must intersect.
+    if (hi < o.lo || o.hi < lo)
+        return false;
+    // Elements are lo + k*stride and o.lo + m*o.stride; a common value
+    // requires (o.lo - lo) divisible by gcd(stride, o.stride). When the
+    // residues differ the sections are provably disjoint; otherwise we
+    // conservatively report overlap (the smallest common element could in
+    // principle lie outside the range intersection).
+    std::int64_t g = gcd64(stride, o.stride);
+    if (g > 1 && ((o.lo - lo) % g) != 0)
+        return false;
+    return true;
+}
+
+bool
+DimTriplet::contains(const DimTriplet &o) const
+{
+    if (o.empty())
+        return true;
+    if (empty())
+        return false;
+    if (o.lo < lo || o.hi > hi)
+        return false;
+    // Every element of o must land on our lattice.
+    std::int64_t s = stride > 0 ? stride : 1;
+    if (s == 1)
+        return true;
+    if ((o.lo - lo) % s != 0)
+        return false;
+    if (o.count() == 1)
+        return true;
+    return o.stride % s == 0;
+}
+
+DimTriplet
+DimTriplet::hull(const DimTriplet &o) const
+{
+    if (empty())
+        return o;
+    if (o.empty())
+        return *this;
+    DimTriplet out;
+    out.lo = std::min(lo, o.lo);
+    out.hi = std::max(hi, o.hi);
+    std::int64_t g = gcd64(stride, o.stride);
+    g = gcd64(g, o.lo - lo);
+    out.stride = g > 0 ? g : 1;
+    return out;
+}
+
+std::string
+DimTriplet::str() const
+{
+    if (empty())
+        return "<empty>";
+    if (lo == hi)
+        return std::to_string(lo);
+    if (stride == 1)
+        return csprintf("%d:%d", lo, hi);
+    return csprintf("%d:%d:%d", lo, hi, stride);
+}
+
+RegularSection
+RegularSection::whole(const hir::ArrayDecl &decl, hir::ArrayId id)
+{
+    std::vector<DimTriplet> dims;
+    dims.reserve(decl.dims.size());
+    for (std::int64_t extent : decl.dims)
+        dims.push_back(DimTriplet{0, extent - 1, 1});
+    return RegularSection(id, std::move(dims));
+}
+
+bool
+RegularSection::empty() const
+{
+    if (_dims.empty())
+        return true;
+    for (const DimTriplet &d : _dims)
+        if (d.empty())
+            return true;
+    return false;
+}
+
+bool
+RegularSection::mayOverlap(const RegularSection &o) const
+{
+    if (_array != o._array || empty() || o.empty())
+        return false;
+    hscd_assert(_dims.size() == o._dims.size(),
+                "section rank mismatch on same array");
+    for (std::size_t d = 0; d < _dims.size(); ++d)
+        if (!_dims[d].mayOverlap(o._dims[d]))
+            return false;
+    return true;
+}
+
+bool
+RegularSection::contains(const RegularSection &o) const
+{
+    if (o.empty())
+        return true;
+    if (_array != o._array || empty())
+        return false;
+    for (std::size_t d = 0; d < _dims.size(); ++d)
+        if (!_dims[d].contains(o._dims[d]))
+            return false;
+    return true;
+}
+
+RegularSection
+RegularSection::hull(const RegularSection &o) const
+{
+    if (empty())
+        return o;
+    if (o.empty())
+        return *this;
+    hscd_assert(_array == o._array, "hull across different arrays");
+    std::vector<DimTriplet> dims;
+    dims.reserve(_dims.size());
+    for (std::size_t d = 0; d < _dims.size(); ++d)
+        dims.push_back(_dims[d].hull(o._dims[d]));
+    return RegularSection(_array, std::move(dims));
+}
+
+std::string
+RegularSection::str() const
+{
+    std::string out = csprintf("arr%d(", _array);
+    for (std::size_t d = 0; d < _dims.size(); ++d)
+        out += (d ? ", " : "") + _dims[d].str();
+    return out + ")";
+}
+
+void
+SectionSet::add(const RegularSection &s)
+{
+    if (s.empty())
+        return;
+    for (RegularSection &t : _terms) {
+        if (t.contains(s))
+            return;
+        if (s.contains(t)) {
+            t = s;
+            return;
+        }
+    }
+    _terms.push_back(s);
+    if (_terms.size() > _maxTerms)
+        widen();
+}
+
+void
+SectionSet::widen()
+{
+    // Merge the first same-array pair; fall back to merging the last two
+    // same-array terms found. (Terms over different arrays never merge.)
+    for (std::size_t i = 0; i < _terms.size(); ++i) {
+        for (std::size_t j = i + 1; j < _terms.size(); ++j) {
+            if (_terms[i].array() == _terms[j].array()) {
+                _terms[i] = _terms[i].hull(_terms[j]);
+                _terms.erase(_terms.begin() +
+                             static_cast<std::ptrdiff_t>(j));
+                return;
+            }
+        }
+    }
+}
+
+void
+SectionSet::unionWith(const SectionSet &o)
+{
+    for (const RegularSection &s : o._terms)
+        add(s);
+}
+
+bool
+SectionSet::mayOverlap(const RegularSection &s) const
+{
+    for (const RegularSection &t : _terms)
+        if (t.mayOverlap(s))
+            return true;
+    return false;
+}
+
+bool
+SectionSet::mayOverlap(const SectionSet &o) const
+{
+    for (const RegularSection &t : o._terms)
+        if (mayOverlap(t))
+            return true;
+    return false;
+}
+
+std::string
+SectionSet::str() const
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < _terms.size(); ++i)
+        out += (i ? ", " : "") + _terms[i].str();
+    return out + "}";
+}
+
+} // namespace compiler
+} // namespace hscd

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Bounded regular array sections.
+ *
+ * The array data-flow analysis summarizes the elements a reference (or a
+ * whole epoch / procedure) may touch as a product of per-dimension
+ * triplets lo:hi:stride, the classic "bounded regular section" form. All
+ * operations are conservative in the may-analysis direction: overlap may
+ * report true for disjoint sections, never false for overlapping ones.
+ */
+
+#ifndef HSCD_COMPILER_SECTION_HH
+#define HSCD_COMPILER_SECTION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hir/program.hh"
+
+namespace hscd {
+namespace compiler {
+
+/** One dimension of a section: {lo..hi step stride}, inclusive. */
+struct DimTriplet
+{
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    std::int64_t stride = 1;
+
+    bool empty() const { return lo > hi; }
+    std::int64_t count() const;
+
+    /** May this triplet and @p o share an element? Conservative. */
+    bool mayOverlap(const DimTriplet &o) const;
+
+    /** Does this triplet contain every element of @p o? (must-analysis) */
+    bool contains(const DimTriplet &o) const;
+
+    /** Smallest triplet covering both (stride degrades to gcd). */
+    DimTriplet hull(const DimTriplet &o) const;
+
+    bool operator==(const DimTriplet &o) const = default;
+
+    std::string str() const;
+};
+
+/** Product of per-dimension triplets over one array. */
+class RegularSection
+{
+  public:
+    RegularSection() = default;
+    RegularSection(hir::ArrayId array, std::vector<DimTriplet> dims)
+        : _array(array), _dims(std::move(dims))
+    {}
+
+    /** The whole array. */
+    static RegularSection whole(const hir::ArrayDecl &decl,
+                                hir::ArrayId id);
+
+    hir::ArrayId array() const { return _array; }
+    const std::vector<DimTriplet> &dims() const { return _dims; }
+
+    bool empty() const;
+    bool mayOverlap(const RegularSection &o) const;
+    bool contains(const RegularSection &o) const;
+    RegularSection hull(const RegularSection &o) const;
+
+    bool operator==(const RegularSection &o) const = default;
+
+    std::string str() const;
+
+  private:
+    hir::ArrayId _array = hir::invalidArray;
+    std::vector<DimTriplet> _dims;
+};
+
+/**
+ * A may-set of sections per array, with a bounded number of disjuncts;
+ * exceeding the bound widens by hulling the closest pair.
+ */
+class SectionSet
+{
+  public:
+    explicit SectionSet(std::size_t max_terms = 8)
+        : _maxTerms(max_terms)
+    {}
+
+    void add(const RegularSection &s);
+    void unionWith(const SectionSet &o);
+
+    bool mayOverlap(const RegularSection &s) const;
+    bool mayOverlap(const SectionSet &o) const;
+
+    bool empty() const { return _terms.empty(); }
+    const std::vector<RegularSection> &terms() const { return _terms; }
+
+    std::string str() const;
+
+  private:
+    void widen();
+
+    std::size_t _maxTerms;
+    std::vector<RegularSection> _terms;
+};
+
+/** gcd helper shared with the dependence tests. */
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+} // namespace compiler
+} // namespace hscd
+
+#endif // HSCD_COMPILER_SECTION_HH

@@ -1,0 +1,124 @@
+#include "compiler/summary.hh"
+
+#include "common/log.hh"
+
+namespace hscd {
+namespace compiler {
+
+using hir::ArrayRefStmt;
+using hir::CallStmt;
+using hir::CriticalStmt;
+using hir::IfUnknownStmt;
+using hir::LoopStmt;
+using hir::Program;
+using hir::StmtKind;
+using hir::StmtList;
+
+namespace {
+
+class Summarizer
+{
+  public:
+    explicit Summarizer(const Program &prog)
+        : _prog(prog), _out(prog.procedures().size()),
+          _state(prog.procedures().size(), 0)
+    {}
+
+    std::vector<ProcSummary>
+    run()
+    {
+        for (hir::ProcIndex p = 0; p < _prog.procedures().size(); ++p)
+            summarize(p);
+        return std::move(_out);
+    }
+
+  private:
+    void
+    summarize(hir::ProcIndex p)
+    {
+        if (_state[p] == 2)
+            return;
+        hscd_assert(_state[p] == 0, "call cycle reached the summarizer");
+        _state[p] = 1;
+        ProcSummary &sum = _out[p];
+        VarRangeEnv env(_prog);
+        std::vector<LoopCtx> loops;
+        walk(_prog.procedures()[p].body, sum, env, loops, p);
+        _state[p] = 2;
+    }
+
+    void
+    walk(const StmtList &body, ProcSummary &sum, VarRangeEnv &env,
+         std::vector<LoopCtx> &loops, hir::ProcIndex p)
+    {
+        for (const auto &s : body) {
+            switch (s->kind()) {
+              case StmtKind::ArrayRef: {
+                const auto &r = static_cast<const ArrayRefStmt &>(*s);
+                RegularSection sec = sectionForRef(_prog, r, loops, env);
+                if (r.isWrite)
+                    sum.mod.add(sec);
+                else
+                    sum.use.add(sec);
+                ++sum.directRefs;
+                ++sum.totalRefs;
+                break;
+              }
+              case StmtKind::Loop: {
+                const auto &l = static_cast<const LoopStmt &>(*s);
+                if (l.parallel)
+                    sum.hasBoundary = true;
+                LoopCtx ctx{l.var, l.lo, l.hi, l.step, l.parallel};
+                env.push(ctx);
+                loops.push_back(ctx);
+                walk(l.body, sum, env, loops, p);
+                loops.pop_back();
+                env.pop();
+                break;
+              }
+              case StmtKind::IfUnknown: {
+                const auto &br = static_cast<const IfUnknownStmt &>(*s);
+                walk(br.thenBody, sum, env, loops, p);
+                walk(br.elseBody, sum, env, loops, p);
+                break;
+              }
+              case StmtKind::Call: {
+                const auto &c = static_cast<const CallStmt &>(*s);
+                summarize(c.callee);
+                const ProcSummary &callee = _out[c.callee];
+                sum.mod.unionWith(callee.mod);
+                sum.use.unionWith(callee.use);
+                sum.hasBoundary |= callee.hasBoundary;
+                sum.totalRefs += callee.totalRefs;
+                break;
+              }
+              case StmtKind::Critical: {
+                const auto &c = static_cast<const CriticalStmt &>(*s);
+                walk(c.body, sum, env, loops, p);
+                break;
+              }
+              case StmtKind::Barrier:
+                sum.hasBoundary = true;
+                break;
+              case StmtKind::Sync:
+              case StmtKind::Compute:
+                break;
+            }
+        }
+    }
+
+    const Program &_prog;
+    std::vector<ProcSummary> _out;
+    std::vector<int> _state;
+};
+
+} // namespace
+
+std::vector<ProcSummary>
+summarizeProcedures(const Program &prog)
+{
+    return Summarizer(prog).run();
+}
+
+} // namespace compiler
+} // namespace hscd

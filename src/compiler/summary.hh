@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Interprocedural side-effect analysis: per-procedure MOD/USE section
+ * summaries propagated bottom-up over the call graph.
+ *
+ * Earlier HSCD schemes invalidated the whole cache at procedure
+ * boundaries; the paper avoids that by summarizing each procedure's array
+ * side effects so callers can reason across call sites. The epoch-graph
+ * builder inlines calls for maximum precision, but these summaries are the
+ * paper's stated mechanism and are also what a separate-compilation
+ * implementation would use; the explorer example prints them.
+ */
+
+#ifndef HSCD_COMPILER_SUMMARY_HH
+#define HSCD_COMPILER_SUMMARY_HH
+
+#include <vector>
+
+#include "compiler/secbuild.hh"
+
+namespace hscd {
+namespace compiler {
+
+struct ProcSummary
+{
+    SectionSet mod;   ///< sections possibly written
+    SectionSet use;   ///< sections possibly read
+    bool hasBoundary = false; ///< contains a DOALL or barrier (transitively)
+    std::uint32_t directRefs = 0;  ///< refs in the procedure body itself
+    std::uint32_t totalRefs = 0;   ///< refs including callees
+};
+
+/** Compute summaries for every procedure (bottom-up over call graph). */
+std::vector<ProcSummary> summarizeProcedures(const hir::Program &prog);
+
+} // namespace compiler
+} // namespace hscd
+
+#endif // HSCD_COMPILER_SUMMARY_HH

@@ -1,0 +1,304 @@
+#include "hir/builder.hh"
+
+#include <cctype>
+#include <string>
+
+#include "common/log.hh"
+
+namespace hscd {
+namespace hir {
+
+ProgramBuilder::ProgramBuilder() = default;
+
+ProgramBuilder &
+ProgramBuilder::param(const std::string &name, std::int64_t value)
+{
+    hscd_assert(!_inProc, "param() outside procedure bodies only");
+    _prog._params.bind(name, value);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::param(const std::string &name, std::int64_t value,
+                      std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi || value < lo || value > hi)
+        fatal("param %s: value %d outside declared range [%d, %d]",
+              name, value, lo, hi);
+    param(name, value);
+    _prog._paramRanges[name] = Range{lo, hi};
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::array(const std::string &name,
+                      const std::vector<std::string> &dims)
+{
+    std::vector<std::int64_t> extents;
+    extents.reserve(dims.size());
+    for (const std::string &d : dims) {
+        if (!d.empty() &&
+            (std::isdigit(static_cast<unsigned char>(d[0])) || d[0] == '-'))
+        {
+            extents.push_back(std::stoll(d));
+        } else {
+            auto val = _prog._params.lookup(d);
+            if (!val)
+                fatal("array %s: dimension '%s' is not a bound param",
+                      name, d);
+            extents.push_back(*val);
+        }
+    }
+    return array(name, extents);
+}
+
+ProgramBuilder &
+ProgramBuilder::array(const std::string &name,
+                      const std::vector<std::int64_t> &dims)
+{
+    hscd_assert(!_built, "builder already finalized");
+    for (const ArrayDecl &a : _prog._arrays)
+        if (a.name == name)
+            fatal("array '%s' declared twice", name);
+    for (std::int64_t d : dims)
+        if (d <= 0)
+            fatal("array '%s' has non-positive extent %d", name, d);
+    _prog._arrays.push_back(ArrayDecl{name, dims, 0});
+    return *this;
+}
+
+IntExpr
+ProgramBuilder::unknown()
+{
+    return IntExpr::unknown(_nextUnknown++);
+}
+
+ProgramBuilder &
+ProgramBuilder::proc(const std::string &name, const BodyFn &fn)
+{
+    hscd_assert(!_inProc, "nested proc() definitions are not allowed");
+    hscd_assert(!_built, "builder already finalized");
+    for (const Procedure &p : _prog._procs)
+        if (p.name == name)
+            fatal("procedure '%s' defined twice", name);
+    _prog._procs.push_back(Procedure{name, {}});
+    _currentProc = static_cast<ProcIndex>(_prog._procs.size() - 1);
+    _inProc = true;
+    pushBody(&_prog._procs.back().body, fn);
+    _inProc = false;
+    return *this;
+}
+
+void
+ProgramBuilder::emit(StmtPtr stmt)
+{
+    hscd_assert(!_bodyStack.empty(),
+                "statements may only be emitted inside proc()");
+    _bodyStack.back()->push_back(std::move(stmt));
+}
+
+void
+ProgramBuilder::pushBody(StmtList *list, const BodyFn &fn)
+{
+    _bodyStack.push_back(list);
+    if (fn)
+        fn();
+    _bodyStack.pop_back();
+}
+
+void
+ProgramBuilder::doall(const std::string &var, IntExpr lo, IntExpr hi,
+                      const BodyFn &body, std::int64_t step)
+{
+    hscd_assert(step > 0, "loop step must be positive");
+    auto loop = std::make_unique<LoopStmt>(var, std::move(lo),
+                                           std::move(hi), step, true);
+    LoopStmt *raw = loop.get();
+    emit(std::move(loop));
+    pushBody(&raw->body, body);
+}
+
+void
+ProgramBuilder::doserial(const std::string &var, IntExpr lo, IntExpr hi,
+                         const BodyFn &body, std::int64_t step)
+{
+    hscd_assert(step > 0, "loop step must be positive");
+    auto loop = std::make_unique<LoopStmt>(var, std::move(lo),
+                                           std::move(hi), step, false);
+    LoopStmt *raw = loop.get();
+    emit(std::move(loop));
+    pushBody(&raw->body, body);
+}
+
+RefId
+ProgramBuilder::ref(const std::string &array, std::vector<IntExpr> subs,
+                    bool is_write)
+{
+    ArrayId id = _prog.findArray(array);
+    if (subs.size() != _prog.array(id).dims.size())
+        fatal("array %s: %d subscripts for %d dimensions", array,
+              subs.size(), _prog.array(id).dims.size());
+    RefId rid = _prog._refCount++;
+    auto stmt = std::make_unique<ArrayRefStmt>(id, std::move(subs),
+                                               is_write, rid);
+    _prog._refs.push_back(RefInfo{stmt.get(), _currentProc});
+    emit(std::move(stmt));
+    return rid;
+}
+
+RefId
+ProgramBuilder::read(const std::string &array, std::vector<IntExpr> subs)
+{
+    return ref(array, std::move(subs), false);
+}
+
+RefId
+ProgramBuilder::write(const std::string &array, std::vector<IntExpr> subs)
+{
+    return ref(array, std::move(subs), true);
+}
+
+void
+ProgramBuilder::compute(Cycles cycles)
+{
+    emit(std::make_unique<ComputeStmt>(cycles));
+}
+
+void
+ProgramBuilder::call(const std::string &proc_name)
+{
+    auto stmt = std::make_unique<CallStmt>(static_cast<ProcIndex>(-1));
+    _callFixups.emplace_back(stmt.get(), proc_name);
+    emit(std::move(stmt));
+}
+
+void
+ProgramBuilder::barrier()
+{
+    emit(std::make_unique<BarrierStmt>());
+}
+
+void
+ProgramBuilder::post(IntExpr flag)
+{
+    emit(std::make_unique<SyncStmt>(true, std::move(flag)));
+}
+
+void
+ProgramBuilder::wait(IntExpr flag)
+{
+    emit(std::make_unique<SyncStmt>(false, std::move(flag)));
+}
+
+void
+ProgramBuilder::critical(const BodyFn &body)
+{
+    auto stmt = std::make_unique<CriticalStmt>();
+    CriticalStmt *raw = stmt.get();
+    emit(std::move(stmt));
+    pushBody(&raw->body, body);
+}
+
+void
+ProgramBuilder::ifUnknown(TakePolicy policy, const BodyFn &then_body,
+                          const BodyFn &else_body)
+{
+    auto stmt = std::make_unique<IfUnknownStmt>(policy, _nextIf++);
+    IfUnknownStmt *raw = stmt.get();
+    emit(std::move(stmt));
+    pushBody(&raw->thenBody, then_body);
+    if (else_body)
+        pushBody(&raw->elseBody, else_body);
+}
+
+void
+ProgramBuilder::validateBody(const StmtList &body, bool in_parallel,
+                             std::vector<int> &call_state,
+                             ProcIndex proc) const
+{
+    for (const StmtPtr &s : body) {
+        switch (s->kind()) {
+          case StmtKind::Loop: {
+            const auto &loop = static_cast<const LoopStmt &>(*s);
+            validateBody(loop.body, in_parallel || loop.parallel, call_state,
+                         proc);
+            break;
+          }
+          case StmtKind::Barrier:
+            if (in_parallel)
+                fatal("barrier inside a DOALL body (procedure %s)",
+                      _prog._procs[proc].name);
+            break;
+          case StmtKind::IfUnknown: {
+            const auto &br = static_cast<const IfUnknownStmt &>(*s);
+            validateBody(br.thenBody, in_parallel, call_state, proc);
+            validateBody(br.elseBody, in_parallel, call_state, proc);
+            break;
+          }
+          case StmtKind::Critical: {
+            const auto &cs = static_cast<const CriticalStmt &>(*s);
+            for (const StmtPtr &inner : cs.body) {
+                if (inner->kind() == StmtKind::Loop &&
+                    static_cast<const LoopStmt &>(*inner).parallel)
+                    fatal("DOALL inside a critical section");
+                if (inner->kind() == StmtKind::Sync)
+                    fatal("post/wait inside a critical section would "
+                          "deadlock");
+            }
+            validateBody(cs.body, in_parallel, call_state, proc);
+            break;
+          }
+          case StmtKind::Call: {
+            const auto &call = static_cast<const CallStmt &>(*s);
+            ProcIndex callee = call.callee;
+            if (call_state[callee] == 1)
+                fatal("recursive call cycle through procedure '%s'",
+                      _prog._procs[callee].name);
+            if (call_state[callee] == 0) {
+                call_state[callee] = 1;
+                validateBody(_prog._procs[callee].body, in_parallel,
+                             call_state, callee);
+                call_state[callee] = 2;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+void
+ProgramBuilder::validate() const
+{
+    bool has_main = false;
+    for (const Procedure &p : _prog._procs)
+        if (p.name == "MAIN")
+            has_main = true;
+    if (!has_main)
+        fatal("program has no MAIN procedure");
+
+    // DFS from MAIN detects call cycles; every procedure revisited from a
+    // parallel context is checked there too (call_state is reset so both
+    // serial and parallel visits validate).
+    std::vector<int> call_state(_prog._procs.size(), 0);
+    ProcIndex main_idx = _prog.findProcedure("MAIN");
+    call_state[main_idx] = 1;
+    validateBody(_prog._procs[main_idx].body, false, call_state, main_idx);
+}
+
+Program
+ProgramBuilder::build()
+{
+    hscd_assert(!_built, "build() called twice");
+    for (auto &[stmt, name] : _callFixups)
+        stmt->callee = _prog.findProcedure(name);
+    _prog._mainIndex = _prog.findProcedure("MAIN");
+    validate();
+    _prog.layout(256);
+    _built = true;
+    return std::move(_prog);
+}
+
+} // namespace hir
+} // namespace hscd

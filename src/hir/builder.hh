@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fluent construction of HIR programs.
+ *
+ * Example:
+ * @code
+ *   ProgramBuilder b;
+ *   b.param("N", 128);
+ *   b.array("A", {"N"});
+ *   b.array("B", {"N"});
+ *   b.proc("MAIN", [&] {
+ *       b.doall("i", 0, b.p("N") - 1, [&] {
+ *           b.read("B", {b.v("i")});
+ *           b.compute(4);
+ *           b.write("A", {b.v("i")});
+ *       });
+ *   });
+ *   hir::Program prog = b.build();
+ * @endcode
+ */
+
+#ifndef HSCD_HIR_BUILDER_HH
+#define HSCD_HIR_BUILDER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hir/program.hh"
+
+namespace hscd {
+namespace hir {
+
+class ProgramBuilder
+{
+  public:
+    using BodyFn = std::function<void()>;
+
+    ProgramBuilder();
+
+    /** Bind a program-level constant (problem size). */
+    ProgramBuilder &param(const std::string &name, std::int64_t value);
+
+    /**
+     * Bind a constant AND declare its compile-time range [lo, hi]:
+     * symbolic compilation (AnalysisOptions::symbolicParams) marks the
+     * program for every size in range, not just the bound value.
+     */
+    ProgramBuilder &param(const std::string &name, std::int64_t value,
+                          std::int64_t lo, std::int64_t hi);
+
+    /**
+     * Declare a global array. Each dimension is either a literal extent or
+     * the name of a previously bound param.
+     */
+    ProgramBuilder &array(const std::string &name,
+                          const std::vector<std::string> &dims);
+    ProgramBuilder &array(const std::string &name,
+                          const std::vector<std::int64_t> &dims);
+    /** Brace-friendly: array("A", {"N", "16"}). */
+    ProgramBuilder &
+    array(const std::string &name,
+          std::initializer_list<const char *> dims)
+    {
+        return array(name,
+                     std::vector<std::string>(dims.begin(), dims.end()));
+    }
+    /** Brace-friendly: array("A", {64, 16}). */
+    ProgramBuilder &
+    array(const std::string &name, std::initializer_list<std::int64_t> dims)
+    {
+        return array(name,
+                     std::vector<std::int64_t>(dims.begin(), dims.end()));
+    }
+
+    /** Expression helpers. */
+    IntExpr v(const std::string &name) const { return IntExpr::var(name); }
+    IntExpr c(std::int64_t k) const { return IntExpr::constant(k); }
+    /** A param is just a variable bound at program scope. */
+    IntExpr p(const std::string &name) const { return IntExpr::var(name); }
+    /** Fresh compile-time-opaque expression. */
+    IntExpr unknown();
+
+    /** Define a procedure whose body is built inside @p fn. */
+    ProgramBuilder &proc(const std::string &name, const BodyFn &fn);
+
+    // --- statement emitters; valid only inside a proc() body ------------
+
+    void doall(const std::string &var, IntExpr lo, IntExpr hi,
+               const BodyFn &body, std::int64_t step = 1);
+
+    void doserial(const std::string &var, IntExpr lo, IntExpr hi,
+                  const BodyFn &body, std::int64_t step = 1);
+
+    /** Emit a read of array element; returns the reference id. */
+    RefId read(const std::string &array, std::vector<IntExpr> subs);
+    /** Emit a write of array element; returns the reference id. */
+    RefId write(const std::string &array, std::vector<IntExpr> subs);
+
+    void compute(Cycles cycles);
+    void call(const std::string &proc_name);
+    void barrier();
+    /** Post a synchronization flag (release: drains the write buffer). */
+    void post(IntExpr flag);
+    /** Block until the flag has been posted in this epoch. */
+    void wait(IntExpr flag);
+    void critical(const BodyFn &body);
+    void ifUnknown(TakePolicy policy, const BodyFn &then_body,
+                   const BodyFn &else_body = nullptr);
+
+    /**
+     * Finalize: resolve calls, validate structure (acyclic call graph, no
+     * barriers inside DOALLs, DOALLs only at serial nesting), lay out the
+     * address space, and return the immutable program.
+     */
+    Program build();
+
+  private:
+    void emit(StmtPtr stmt);
+    void pushBody(StmtList *list, const BodyFn &fn);
+    RefId ref(const std::string &array, std::vector<IntExpr> subs,
+              bool is_write);
+    void validate() const;
+    void validateBody(const StmtList &body, bool in_parallel,
+                      std::vector<int> &call_state, ProcIndex proc) const;
+
+    Program _prog;
+    std::vector<StmtList *> _bodyStack;
+    ProcIndex _currentProc = 0;
+    bool _inProc = false;
+    std::vector<std::pair<CallStmt *, std::string>> _callFixups;
+    std::uint32_t _nextUnknown = 0;
+    std::uint32_t _nextIf = 0;
+    bool _built = false;
+};
+
+} // namespace hir
+} // namespace hscd
+
+#endif // HSCD_HIR_BUILDER_HH

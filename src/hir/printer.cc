@@ -1,0 +1,164 @@
+#include "hir/printer.hh"
+
+#include <sstream>
+
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace hir {
+
+namespace {
+
+class Printer
+{
+  public:
+    Printer(std::ostream &os, const Program &prog,
+            const PrintOptions &opts)
+        : _os(os), _prog(prog), _opts(opts)
+    {}
+
+    void
+    body(const StmtList &list, int depth)
+    {
+        for (const StmtPtr &s : list)
+            stmt(*s, depth);
+    }
+
+  private:
+    void
+    indent(int depth)
+    {
+        _os << std::string(std::size_t(depth) * _opts.indentWidth, ' ');
+    }
+
+    void
+    stmt(const Stmt &s, int depth)
+    {
+        switch (s.kind()) {
+          case StmtKind::ArrayRef: {
+            const auto &r = static_cast<const ArrayRefStmt &>(s);
+            indent(depth);
+            std::string subs;
+            for (std::size_t i = 0; i < r.subs.size(); ++i)
+                subs += (i ? ", " : "") + r.subs[i].str();
+            const std::string access =
+                _prog.array(r.array).name + "(" + subs + ")";
+            if (r.isWrite)
+                _os << access << " = ...";
+            else
+                _os << "... = " << access;
+            if (_opts.showRefIds)
+                _os << "    ! ref " << r.id;
+            _os << "\n";
+            break;
+          }
+          case StmtKind::Compute: {
+            const auto &c = static_cast<const ComputeStmt &>(s);
+            indent(depth);
+            _os << "COMPUTE " << c.cycles << " cycles\n";
+            break;
+          }
+          case StmtKind::Loop: {
+            const auto &l = static_cast<const LoopStmt &>(s);
+            indent(depth);
+            _os << (l.parallel ? "DOALL " : "DO ") << l.var << " = "
+                << l.lo.str() << ", " << l.hi.str();
+            if (l.step != 1)
+                _os << ", " << l.step;
+            _os << "\n";
+            body(l.body, depth + 1);
+            indent(depth);
+            _os << (l.parallel ? "END DOALL" : "END DO") << "\n";
+            break;
+          }
+          case StmtKind::IfUnknown: {
+            const auto &br = static_cast<const IfUnknownStmt &>(s);
+            indent(depth);
+            _os << "IF (unknown#" << br.id << ") THEN\n";
+            body(br.thenBody, depth + 1);
+            if (!br.elseBody.empty()) {
+                indent(depth);
+                _os << "ELSE\n";
+                body(br.elseBody, depth + 1);
+            }
+            indent(depth);
+            _os << "END IF\n";
+            break;
+          }
+          case StmtKind::Call: {
+            const auto &c = static_cast<const CallStmt &>(s);
+            indent(depth);
+            _os << "CALL " << _prog.procedures()[c.callee].name << "\n";
+            break;
+          }
+          case StmtKind::Critical: {
+            const auto &cs = static_cast<const CriticalStmt &>(s);
+            indent(depth);
+            _os << "CRITICAL\n";
+            body(cs.body, depth + 1);
+            indent(depth);
+            _os << "END CRITICAL\n";
+            break;
+          }
+          case StmtKind::Barrier:
+            indent(depth);
+            _os << "BARRIER\n";
+            break;
+          case StmtKind::Sync: {
+            const auto &sy = static_cast<const SyncStmt &>(s);
+            indent(depth);
+            _os << (sy.isPost ? "POST(" : "WAIT(") << sy.flag.str()
+                << ")\n";
+            break;
+          }
+        }
+    }
+
+    std::ostream &_os;
+    const Program &_prog;
+    const PrintOptions &_opts;
+};
+
+} // namespace
+
+void
+printProcedure(std::ostream &os, const Program &prog, ProcIndex proc,
+               const PrintOptions &opts)
+{
+    const Procedure &p = prog.procedures().at(proc);
+    os << (proc == prog.mainIndex() ? "PROGRAM " : "SUBROUTINE ")
+       << p.name << "\n";
+    Printer printer(os, prog, opts);
+    printer.body(p.body, 1);
+    os << "END\n";
+}
+
+void
+printProgram(std::ostream &os, const Program &prog,
+             const PrintOptions &opts)
+{
+    for (const auto &[name, value] : prog.params().vars())
+        os << "PARAMETER (" << name << " = " << value << ")\n";
+    for (const ArrayDecl &a : prog.arrays()) {
+        os << "REAL " << a.name << "(";
+        for (std::size_t d = 0; d < a.dims.size(); ++d)
+            os << (d ? "," : "") << a.dims[d];
+        os << csprintf(")    ! base 0x%x\n", a.base);
+    }
+    os << "\n";
+    for (ProcIndex i = 0; i < prog.procedures().size(); ++i) {
+        printProcedure(os, prog, i, opts);
+        os << "\n";
+    }
+}
+
+std::string
+programToString(const Program &prog, const PrintOptions &opts)
+{
+    std::ostringstream os;
+    printProgram(os, prog, opts);
+    return os.str();
+}
+
+} // namespace hir
+} // namespace hscd

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Pseudo-Fortran pretty printer for HIR programs; used by the
+ * compiler-explorer example and for test diagnostics.
+ */
+
+#ifndef HSCD_HIR_PRINTER_HH
+#define HSCD_HIR_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "hir/program.hh"
+
+namespace hscd {
+namespace hir {
+
+/** Options controlling the dump. */
+struct PrintOptions
+{
+    bool showRefIds = true;   ///< annotate refs with their RefId
+    int indentWidth = 2;
+};
+
+/** Print one procedure. */
+void printProcedure(std::ostream &os, const Program &prog,
+                    ProcIndex proc, const PrintOptions &opts = {});
+
+/** Print the whole program (arrays, params, all procedures). */
+void printProgram(std::ostream &os, const Program &prog,
+                  const PrintOptions &opts = {});
+
+/** Convenience: whole program as a string. */
+std::string programToString(const Program &prog,
+                            const PrintOptions &opts = {});
+
+} // namespace hir
+} // namespace hscd
+
+#endif // HSCD_HIR_PRINTER_HH

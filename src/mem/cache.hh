@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Generic set-associative cache array with per-word metadata.
+ *
+ * The coherence schemes differ in what they must remember per word (TPI:
+ * timetags) and per line (HW: MSI state), so the array is templated over
+ * both. Value stamps per word are always kept: they are the simulated
+ * "data" the coherence oracle checks.
+ */
+
+#ifndef HSCD_MEM_CACHE_HH
+#define HSCD_MEM_CACHE_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+#include "mem/machine_config.hh"
+#include "mem/memory.hh"
+
+namespace hscd {
+namespace mem {
+
+/** Empty metadata for schemes that need none. */
+struct NoMeta
+{
+};
+
+template <typename WordMeta = NoMeta, typename LineMeta = NoMeta>
+class CacheArray
+{
+  public:
+    struct Line
+    {
+        bool valid = false;
+        Addr base = 0;                 ///< line-aligned address
+        Cycles lastUse = 0;            ///< for LRU
+        LineMeta meta{};
+        std::vector<WordMeta> words;
+        std::vector<ValueStamp> stamps;
+    };
+
+    CacheArray(const MachineConfig &cfg)
+        : _lineBytes(cfg.lineBytes), _assoc(cfg.assoc),
+          _sets(cfg.sets()),
+          _lines(_sets * _assoc)
+    {
+        hscd_assert(isPowerOf2(_sets), "set count must be a power of two");
+        for (Line &l : _lines) {
+            l.words.resize(cfg.wordsPerLine());
+            l.stamps.resize(cfg.wordsPerLine());
+        }
+    }
+
+    Addr lineAddr(Addr a) const { return a & ~Addr(_lineBytes - 1); }
+    unsigned wordIndex(Addr a) const { return (a % _lineBytes) / 4; }
+    unsigned wordsPerLine() const
+    {
+        return static_cast<unsigned>(_lineBytes / 4);
+    }
+
+    /** Find a valid line holding @p addr; updates LRU on hit. */
+    Line *
+    lookup(Addr addr, Cycles now)
+    {
+        Addr base = lineAddr(addr);
+        std::size_t set = setOf(base);
+        for (unsigned w = 0; w < _assoc; ++w) {
+            Line &l = _lines[set * _assoc + w];
+            if (l.valid && l.base == base) {
+                if (now > l.lastUse)
+                    l.lastUse = now;
+                return &l;
+            }
+        }
+        return nullptr;
+    }
+
+    const Line *
+    peek(Addr addr) const
+    {
+        Addr base = lineAddr(addr);
+        std::size_t set = setOf(base);
+        for (unsigned w = 0; w < _assoc; ++w) {
+            const Line &l = _lines[set * _assoc + w];
+            if (l.valid && l.base == base)
+                return &l;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Choose a victim frame for @p addr (LRU among the set; invalid frames
+     * first). The caller inspects the returned line (valid => eviction)
+     * and then initializes it.
+     */
+    Line &
+    victim(Addr addr, Cycles now)
+    {
+        Addr base = lineAddr(addr);
+        std::size_t set = setOf(base);
+        Line *best = nullptr;
+        for (unsigned w = 0; w < _assoc; ++w) {
+            Line &l = _lines[set * _assoc + w];
+            if (!l.valid)
+                return l;
+            if (!best || l.lastUse < best->lastUse)
+                best = &l;
+        }
+        (void)now;
+        return *best;
+    }
+
+    /** Invalidate every line for which @p pred returns true. */
+    void
+    invalidateIf(const std::function<bool(Line &)> &pred)
+    {
+        for (Line &l : _lines)
+            if (l.valid && pred(l))
+                l.valid = false;
+    }
+
+    /** Visit every valid line. */
+    void
+    forEachLine(const std::function<void(Line &)> &fn)
+    {
+        for (Line &l : _lines)
+            if (l.valid)
+                fn(l);
+    }
+
+    std::size_t lineCount() const { return _lines.size(); }
+
+  private:
+    std::size_t setOf(Addr base) const
+    {
+        return (base / _lineBytes) & (_sets - 1);
+    }
+
+    unsigned _lineBytes;
+    unsigned _assoc;
+    std::size_t _sets;
+    std::vector<Line> _lines;
+};
+
+} // namespace mem
+} // namespace hscd
+
+#endif // HSCD_MEM_CACHE_HH

@@ -1,0 +1,185 @@
+#include "mem/coherence.hh"
+
+#include "common/log.hh"
+#include "mem/base_scheme.hh"
+#include "mem/directory_scheme.hh"
+#include "mem/sc_scheme.hh"
+#include "mem/tpi_scheme.hh"
+#include "mem/vc_scheme.hh"
+
+namespace hscd {
+namespace mem {
+
+const char *
+missClassName(MissClass c)
+{
+    switch (c) {
+      case MissClass::None:
+        return "hit";
+      case MissClass::Cold:
+        return "cold";
+      case MissClass::Replacement:
+        return "replacement";
+      case MissClass::TrueShare:
+        return "true-share";
+      case MissClass::FalseShare:
+        return "false-share";
+      case MissClass::Conservative:
+        return "conservative";
+      case MissClass::TagReset:
+        return "tag-reset";
+      case MissClass::Uncached:
+        return "uncached";
+    }
+    return "?";
+}
+
+SchemeStats::SchemeStats(stats::StatGroup *parent)
+    : group("scheme", parent),
+      reads(&group, "reads", "shared-data read references"),
+      writes(&group, "writes", "shared-data write references"),
+      readHits(&group, "read_hits", "read references served by the cache"),
+      readMisses(&group, "read_misses", "read references going remote"),
+      writeMisses(&group, "write_misses", "write-allocate line fetches"),
+      missCold(&group, "miss_cold", "first-touch misses"),
+      missReplacement(&group, "miss_replacement",
+                      "capacity/conflict re-fetches"),
+      missTrueShare(&group, "miss_true_share",
+                    "necessary coherence misses"),
+      missFalseShare(&group, "miss_false_share",
+                     "HW: invalidated by writes to other words"),
+      missConservative(&group, "miss_conservative",
+                       "TPI/SC: refetch of actually-fresh data"),
+      missTagReset(&group, "miss_tag_reset",
+                   "TPI: invalidated by timetag wrap"),
+      missUncached(&group, "miss_uncached", "BASE: uncached shared data"),
+      timeReads(&group, "time_reads", "reads executed as Time-Read"),
+      timeReadHits(&group, "time_read_hits",
+                   "Time-Reads satisfied by the cache"),
+      bypassReads(&group, "bypass_reads", "reads forced to memory"),
+      readPackets(&group, "read_packets", "network packets for reads"),
+      readWords(&group, "read_words", "data words fetched"),
+      writePackets(&group, "write_packets", "network packets for writes"),
+      writeWords(&group, "write_words", "data words written through"),
+      coherencePackets(&group, "coherence_packets",
+                       "invalidations, acks, forwards"),
+      writebackPackets(&group, "writeback_packets", "write-back packets"),
+      writebackWords(&group, "writeback_words", "write-back data words"),
+      invalidationsSent(&group, "invalidations",
+                        "directory invalidation messages"),
+      tagResets(&group, "tag_resets", "two-phase reset events"),
+      missLatency(&group, "miss_latency", "average read miss latency")
+{
+}
+
+void
+SchemeStats::classify(MissClass c)
+{
+    switch (c) {
+      case MissClass::None:
+        break;
+      case MissClass::Cold:
+        ++missCold;
+        break;
+      case MissClass::Replacement:
+        ++missReplacement;
+        break;
+      case MissClass::TrueShare:
+        ++missTrueShare;
+        break;
+      case MissClass::FalseShare:
+        ++missFalseShare;
+        break;
+      case MissClass::Conservative:
+        ++missConservative;
+        break;
+      case MissClass::TagReset:
+        ++missTagReset;
+        break;
+      case MissClass::Uncached:
+        ++missUncached;
+        break;
+    }
+}
+
+CoherenceScheme::CoherenceScheme(const MachineConfig &cfg,
+                                 MainMemory &memory, net::Network &network,
+                                 stats::StatGroup *parent)
+    : _cfg(cfg), _mem(memory), _net(network), _stats(parent),
+      _writeDone(cfg.procs, 0)
+{
+}
+
+Cycles
+CoherenceScheme::epochBoundary(EpochId new_epoch)
+{
+    _epoch = new_epoch;
+    return 0;
+}
+
+Cycles
+CoherenceScheme::lineFetchLatency() const
+{
+    return _cfg.baseMissCycles +
+           Cycles(_cfg.wordsPerLine() - 1) * _cfg.wordTransferCycles +
+           _net.contentionDelay(2);
+}
+
+Cycles
+CoherenceScheme::wordFetchLatency() const
+{
+    return _cfg.baseMissCycles + _net.contentionDelay(2);
+}
+
+void
+CoherenceScheme::noteWrite(ProcId p, Cycles now, Cycles latency)
+{
+    Cycles done = now + latency;
+    if (done > _writeDone[p])
+        _writeDone[p] = done;
+}
+
+Cycles
+CoherenceScheme::finishWrite(ProcId p, Cycles now, Cycles latency)
+{
+    if (_cfg.sequentialConsistency)
+        return latency; // the processor waits for the write itself
+    noteWrite(p, now, latency);
+    return 1;
+}
+
+Counter
+CoherenceScheme::totalMisses() const
+{
+    return _stats.readMisses.value() + _stats.writeMisses.value();
+}
+
+double
+CoherenceScheme::readMissRate() const
+{
+    Counter r = _stats.reads.value();
+    return r ? double(_stats.readMisses.value()) / double(r) : 0.0;
+}
+
+std::unique_ptr<CoherenceScheme>
+makeScheme(const MachineConfig &cfg, MainMemory &memory,
+           net::Network &network, stats::StatGroup *parent)
+{
+    switch (cfg.scheme) {
+      case SchemeKind::Base:
+        return std::make_unique<BaseScheme>(cfg, memory, network, parent);
+      case SchemeKind::SC:
+        return std::make_unique<ScScheme>(cfg, memory, network, parent);
+      case SchemeKind::TPI:
+        return std::make_unique<TpiScheme>(cfg, memory, network, parent);
+      case SchemeKind::HW:
+        return std::make_unique<DirectoryScheme>(cfg, memory, network,
+                                                 parent);
+      case SchemeKind::VC:
+        return std::make_unique<VcScheme>(cfg, memory, network, parent);
+    }
+    panic("unreachable scheme kind");
+}
+
+} // namespace mem
+} // namespace hscd

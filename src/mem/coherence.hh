@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Coherence-scheme interface and shared machinery (statistics, write
+ * pipeline, miss classification, latency model).
+ *
+ * The executor drives a scheme with one call per memory reference and one
+ * call per epoch boundary; everything else (caches, directory, write
+ * buffers, timetags) lives behind this interface.
+ */
+
+#ifndef HSCD_MEM_COHERENCE_HH
+#define HSCD_MEM_COHERENCE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "compiler/marking.hh"
+#include "mem/machine_config.hh"
+#include "mem/memory.hh"
+#include "network/kruskal_snir.hh"
+
+namespace hscd {
+namespace mem {
+
+/** Why a miss happened (for the Figure 12 decomposition). */
+enum class MissClass : std::uint8_t
+{
+    None,          ///< it was a hit
+    Cold,          ///< first touch by this processor
+    Replacement,   ///< line was evicted earlier (capacity/conflict)
+    TrueShare,     ///< refetched data that really was stale
+    FalseShare,    ///< HW: invalidated by a write to another word
+    Conservative,  ///< TPI/SC: refetched data that was actually fresh
+    TagReset,      ///< TPI: invalidated by timetag wrap (two-phase reset)
+    Uncached,      ///< BASE: shared data is never cached
+};
+
+const char *missClassName(MissClass c);
+
+/** One memory reference as the executor issues it. */
+struct MemOp
+{
+    ProcId proc = 0;
+    Addr addr = 0;
+    bool write = false;
+    /** Owning array (hir::ArrayId); per-variable schemes (VC) need it. */
+    std::uint32_t arrayId = static_cast<std::uint32_t>(-1);
+    compiler::MarkKind mark = compiler::MarkKind::Normal;
+    std::uint32_t distance = 0;   ///< TimeRead operand
+    ValueStamp stamp = 0;         ///< new value (writes)
+    Cycles now = 0;
+    /**
+     * Reference executes under the lock. Lock-ordered writers may follow
+     * within the same epoch, so TPI must not vouch for such a word beyond
+     * EC - 1.
+     */
+    bool critical = false;
+};
+
+/** What the processor observes. */
+struct AccessResult
+{
+    bool hit = false;
+    Cycles stall = 1;             ///< cycles the processor waits
+    ValueStamp observed = 0;      ///< value stamp seen (reads)
+    MissClass cls = MissClass::None;
+};
+
+/**
+ * Common statistics every scheme keeps.
+ */
+struct SchemeStats
+{
+    explicit SchemeStats(stats::StatGroup *parent);
+
+    stats::StatGroup group;
+    stats::Scalar reads;
+    stats::Scalar writes;
+    stats::Scalar readHits;
+    stats::Scalar readMisses;
+    stats::Scalar writeMisses;      ///< allocations triggered by writes
+    stats::Scalar missCold;
+    stats::Scalar missReplacement;
+    stats::Scalar missTrueShare;
+    stats::Scalar missFalseShare;
+    stats::Scalar missConservative;
+    stats::Scalar missTagReset;
+    stats::Scalar missUncached;
+    stats::Scalar timeReads;
+    stats::Scalar timeReadHits;
+    stats::Scalar bypassReads;
+    stats::Scalar readPackets;
+    stats::Scalar readWords;
+    stats::Scalar writePackets;
+    stats::Scalar writeWords;
+    stats::Scalar coherencePackets;  ///< invalidations, acks, forwards
+    stats::Scalar writebackPackets;
+    stats::Scalar writebackWords;
+    stats::Scalar invalidationsSent;
+    stats::Scalar tagResets;
+    stats::Average missLatency;
+
+    void classify(MissClass c);
+};
+
+class CoherenceScheme
+{
+  public:
+    CoherenceScheme(const MachineConfig &cfg, MainMemory &memory,
+                    net::Network &network, stats::StatGroup *parent);
+    virtual ~CoherenceScheme() = default;
+
+    CoherenceScheme(const CoherenceScheme &) = delete;
+    CoherenceScheme &operator=(const CoherenceScheme &) = delete;
+
+    /** Perform one reference; updates all state and stats. */
+    virtual AccessResult access(const MemOp &op) = 0;
+
+    /**
+     * All processors cross an epoch boundary together. Returns the
+     * per-processor stall charged on top of the barrier (e.g. TPI's
+     * two-phase reset).
+     */
+    virtual Cycles epochBoundary(EpochId new_epoch);
+
+    /** Weak consistency: cycle at which proc's last write completes. */
+    Cycles writeDrainTime(ProcId p) const { return _writeDone[p]; }
+
+    /** A task migrated away from @p p mid-epoch: drain its writes. */
+    virtual void migrationDrain(ProcId p) { (void)p; }
+
+    /**
+     * Flash-invalidate @p p's whole cache (the prior-work procedure-
+     * boundary behaviour; no-op for schemes that don't need it).
+     */
+    virtual void flushCache(ProcId p) { (void)p; }
+
+    const SchemeStats &stats() const { return _stats; }
+    const MachineConfig &config() const { return _cfg; }
+
+    /** Total misses across classes. */
+    Counter totalMisses() const;
+    /** Read miss rate (readMisses / reads). */
+    double readMissRate() const;
+
+  protected:
+    /** Unloaded + contended latency of a line fetch from memory. */
+    Cycles lineFetchLatency() const;
+    /** Latency of a single-word remote access. */
+    Cycles wordFetchLatency() const;
+    /** Record a completed write for the drain deadline. */
+    void noteWrite(ProcId p, Cycles now, Cycles latency);
+    /**
+     * Retire a write of cost @p latency under the configured consistency
+     * model; returns the processor-visible stall (1 when buffered).
+     */
+    Cycles finishWrite(ProcId p, Cycles now, Cycles latency);
+
+    const MachineConfig &_cfg;
+    MainMemory &_mem;
+    net::Network &_net;
+    SchemeStats _stats;
+    EpochId _epoch = 0;
+    std::vector<Cycles> _writeDone;
+};
+
+/** Factory: instantiate the scheme selected by @p cfg. */
+std::unique_ptr<CoherenceScheme>
+makeScheme(const MachineConfig &cfg, MainMemory &memory,
+           net::Network &network, stats::StatGroup *parent);
+
+} // namespace mem
+} // namespace hscd
+
+#endif // HSCD_MEM_COHERENCE_HH

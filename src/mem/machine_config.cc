@@ -1,0 +1,171 @@
+#include "mem/machine_config.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace hscd {
+
+SchemeKind
+parseScheme(const std::string &s)
+{
+    const std::string v = toLower(trim(s));
+    if (v == "base")
+        return SchemeKind::Base;
+    if (v == "sc")
+        return SchemeKind::SC;
+    if (v == "tpi")
+        return SchemeKind::TPI;
+    if (v == "hw" || v == "dir" || v == "directory")
+        return SchemeKind::HW;
+    if (v == "vc" || v == "version")
+        return SchemeKind::VC;
+    fatal("unknown scheme '%s' (expected base|sc|tpi|hw|vc)", s);
+}
+
+const char *
+schemeName(SchemeKind k)
+{
+    switch (k) {
+      case SchemeKind::Base:
+        return "BASE";
+      case SchemeKind::SC:
+        return "SC";
+      case SchemeKind::TPI:
+        return "TPI";
+      case SchemeKind::HW:
+        return "HW";
+      case SchemeKind::VC:
+        return "VC";
+    }
+    return "?";
+}
+
+Topology
+parseTopology(const std::string &s)
+{
+    const std::string v = toLower(trim(s));
+    if (v == "min" || v == "omega" || v == "banyan")
+        return Topology::MIN;
+    if (v == "torus3d" || v == "torus" || v == "t3d")
+        return Topology::Torus3D;
+    fatal("unknown network '%s' (expected min|torus3d)", s);
+}
+
+const char *
+topologyName(Topology t)
+{
+    switch (t) {
+      case Topology::MIN:
+        return "MIN";
+      case Topology::Torus3D:
+        return "torus3d";
+    }
+    return "?";
+}
+
+SchedPolicy
+parseSched(const std::string &s)
+{
+    const std::string v = toLower(trim(s));
+    if (v == "block")
+        return SchedPolicy::Block;
+    if (v == "cyclic")
+        return SchedPolicy::Cyclic;
+    if (v == "dynamic")
+        return SchedPolicy::Dynamic;
+    fatal("unknown schedule '%s' (expected block|cyclic|dynamic)", s);
+}
+
+const char *
+schedName(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::Block:
+        return "block";
+      case SchedPolicy::Cyclic:
+        return "cyclic";
+      case SchedPolicy::Dynamic:
+        return "dynamic";
+    }
+    return "?";
+}
+
+Params
+MachineConfig::params()
+{
+    Params p;
+    p.define("procs", "16", "number of processors")
+        .define("cache_kb", "64", "per-processor cache size in KB")
+        .define("line_bytes", "16", "cache line size in bytes")
+        .define("assoc", "1", "cache associativity (1 = direct-mapped)")
+        .define("timetag_bits", "8", "TPI per-word timetag width")
+        .define("scheme", "tpi", "coherence scheme: base|sc|tpi|hw")
+        .define("sched", "block", "DOALL schedule: block|cyclic|dynamic")
+        .define("base_miss", "100", "unloaded miss latency in cycles")
+        .define("word_transfer", "12", "extra cycles per line word")
+        .define("two_phase_reset", "128", "two-phase reset stall cycles")
+        .define("barrier", "40", "barrier cost in cycles")
+        .define("write_latency", "60", "write-through completion cycles")
+        .define("dir_ptrs", "0", "0=full-map, else DirNB-i pointer count")
+        .define("wbuf_cache", "false", "write buffer organized as a cache")
+        .define("migration_rate", "0.0", "per-task migration probability")
+        .define("seq_consistency", "false",
+                "sequential instead of weak consistency")
+        .define("network", "min",
+                "interconnect topology: min|torus3d");
+    return p;
+}
+
+MachineConfig
+MachineConfig::fromParams(const Params &p)
+{
+    MachineConfig c;
+    c.procs = static_cast<unsigned>(p.getUint("procs"));
+    c.cacheBytes = p.getUint("cache_kb") * 1024;
+    c.lineBytes = static_cast<unsigned>(p.getUint("line_bytes"));
+    c.assoc = static_cast<unsigned>(p.getUint("assoc"));
+    c.timetagBits = static_cast<unsigned>(p.getUint("timetag_bits"));
+    c.scheme = parseScheme(p.getString("scheme"));
+    c.sched = parseSched(p.getString("sched"));
+    c.baseMissCycles = p.getUint("base_miss");
+    c.wordTransferCycles = p.getUint("word_transfer");
+    c.twoPhaseResetCycles = p.getUint("two_phase_reset");
+    c.barrierCycles = p.getUint("barrier");
+    c.writeLatencyCycles = p.getUint("write_latency");
+    c.directoryPtrs = static_cast<unsigned>(p.getUint("dir_ptrs"));
+    c.writeBufferAsCache = p.getBool("wbuf_cache");
+    c.migrationRate = p.getDouble("migration_rate");
+    c.sequentialConsistency = p.getBool("seq_consistency");
+    c.topology = parseTopology(p.getString("network"));
+    c.validate();
+    return c;
+}
+
+void
+MachineConfig::validate() const
+{
+    if (procs == 0 || procs > 4096)
+        fatal("procs must be in [1, 4096], got %d", procs);
+    if (!isPowerOf2(lineBytes) || lineBytes < 4)
+        fatal("line_bytes must be a power of two >= 4, got %d", lineBytes);
+    if (!isPowerOf2(cacheBytes) || cacheBytes < lineBytes)
+        fatal("cache size must be a power of two >= line size");
+    if (assoc == 0 || lines() % assoc != 0)
+        fatal("associativity %d does not divide %d lines", assoc, lines());
+    if (timetagBits < 2 || timetagBits > 32)
+        fatal("timetag_bits must be in [2, 32], got %d", timetagBits);
+    if (migrationRate < 0.0 || migrationRate > 1.0)
+        fatal("migration_rate must be in [0, 1]");
+}
+
+std::string
+MachineConfig::str() const
+{
+    return csprintf(
+        "%s: %d procs, %dKB %d-way, %dB lines, %d-bit tags, sched=%s",
+        schemeName(scheme), procs, cacheBytes / 1024, assoc, lineBytes,
+        timetagBits, schedName(sched));
+}
+
+} // namespace hscd

@@ -1,0 +1,57 @@
+#include "mem/storage_model.hh"
+
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace mem {
+
+StorageOverhead
+fullMapOverhead(const StorageParams &p)
+{
+    StorageOverhead o;
+    o.cacheSramBits = 2.0 * double(p.cacheBlocks) * double(p.procs);
+    o.memoryDramBits = double(p.procs + 2) * double(p.memBlocks) *
+                       double(p.procs);
+    return o;
+}
+
+StorageOverhead
+limitlessOverhead(const StorageParams &p)
+{
+    StorageOverhead o;
+    o.cacheSramBits = 2.0 * double(p.cacheBlocks) * double(p.procs);
+    o.memoryDramBits = double(p.limitlessPtrs + 2) * double(p.memBlocks) *
+                       double(p.procs);
+    return o;
+}
+
+StorageOverhead
+tpiOverhead(const StorageParams &p)
+{
+    StorageOverhead o;
+    o.cacheSramBits = double(p.timetagBits) * double(p.wordsPerBlock) *
+                      double(p.cacheBlocks) * double(p.procs);
+    o.memoryDramBits = 0;
+    return o;
+}
+
+std::string
+formatBits(double bits)
+{
+    double bytes = bits / 8.0;
+    const char *unit = "B";
+    if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+        bytes /= 1024.0 * 1024.0 * 1024.0;
+        unit = "GB";
+    } else if (bytes >= 1024.0 * 1024.0) {
+        bytes /= 1024.0 * 1024.0;
+        unit = "MB";
+    } else if (bytes >= 1024.0) {
+        bytes /= 1024.0;
+        unit = "KB";
+    }
+    return csprintf("%.1f %s", bytes, unit);
+}
+
+} // namespace mem
+} // namespace hscd

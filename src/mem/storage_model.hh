@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Analytic storage-overhead model (the paper's Figure 5).
+ *
+ * Parameters follow the paper: P processors, L words per memory block,
+ * C cache blocks per node, M memory blocks per node, i LimitLess
+ * pointers, and the TPI timetag width (8 bits per word by default).
+ *
+ *   Full-map directory [8]:  cache 2*C*P bits (SRAM),
+ *                            memory (P+2)*M*P bits (DRAM)
+ *   LimitLess DirNB-i [2]:   cache 2*C*P bits (SRAM),
+ *                            memory (i+2)*M*P bits (DRAM)
+ *   TPI (this paper):        cache t*L*C*P bits (SRAM), no DRAM overhead
+ *
+ * The TPI overhead is proportional to the cache size only, which is the
+ * paper's core cost argument.
+ */
+
+#ifndef HSCD_MEM_STORAGE_MODEL_HH
+#define HSCD_MEM_STORAGE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hscd {
+namespace mem {
+
+struct StorageParams
+{
+    std::uint64_t procs = 1024;        ///< P
+    std::uint64_t wordsPerBlock = 4;   ///< L
+    std::uint64_t cacheBlocks = 16384; ///< C (256 KB node cache, 16B blocks)
+    std::uint64_t memBlocks = 524288;  ///< M (8 MB node memory, 16B blocks)
+    unsigned limitlessPtrs = 10;       ///< i
+    unsigned timetagBits = 8;          ///< t
+};
+
+struct StorageOverhead
+{
+    double cacheSramBits = 0;
+    double memoryDramBits = 0;
+
+    double totalBits() const { return cacheSramBits + memoryDramBits; }
+};
+
+StorageOverhead fullMapOverhead(const StorageParams &p);
+StorageOverhead limitlessOverhead(const StorageParams &p);
+StorageOverhead tpiOverhead(const StorageParams &p);
+
+/** Render a bit count as "4.0 MB" / "64.5 GB". */
+std::string formatBits(double bits);
+
+} // namespace mem
+} // namespace hscd
+
+#endif // HSCD_MEM_STORAGE_MODEL_HH

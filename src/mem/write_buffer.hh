@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Write buffer models for the write-through schemes.
+ *
+ * Plain mode is an infinite FIFO: every write produces a through packet.
+ * Cache mode organizes the buffer as a small direct-mapped cache of
+ * recently written words (as in the DEC Alpha 21164 [15]); a write that
+ * hits a buffered-and-not-yet-drained word is coalesced and produces no
+ * new network traffic, which is the redundant-write elimination of Chen
+ * and Veidenbaum [9, 10]. The buffer drains at epoch boundaries.
+ */
+
+#ifndef HSCD_MEM_WRITE_BUFFER_HH
+#define HSCD_MEM_WRITE_BUFFER_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hscd {
+namespace mem {
+
+class WriteBuffer
+{
+  public:
+    WriteBuffer(bool as_cache, unsigned slots)
+        : _asCache(as_cache), _tags(as_cache ? slots : 0, 0),
+          _valid(as_cache ? slots : 0, false)
+    {}
+
+    /**
+     * Record a write of @p addr. Returns true when the write coalesces
+     * with a buffered one (no new packet needed).
+     */
+    bool
+    noteWrite(Addr addr)
+    {
+        if (!_asCache)
+            return false;
+        std::size_t slot = (addr / 4) % _tags.size();
+        if (_valid[slot] && _tags[slot] == addr)
+            return true;
+        _tags[slot] = addr;
+        _valid[slot] = true;
+        return false;
+    }
+
+    /** Epoch boundary (or migration): everything must go out. */
+    void
+    drain()
+    {
+        std::fill(_valid.begin(), _valid.end(), false);
+    }
+
+  private:
+    bool _asCache;
+    std::vector<Addr> _tags;
+    std::vector<bool> _valid;
+};
+
+} // namespace mem
+} // namespace hscd
+
+#endif // HSCD_MEM_WRITE_BUFFER_HH

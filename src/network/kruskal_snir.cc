@@ -1,0 +1,89 @@
+#include "network/kruskal_snir.hh"
+
+#include <cmath>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace hscd {
+namespace net {
+
+Network::Network(stats::StatGroup *parent, unsigned procs, unsigned radix,
+                 double max_load, Topology topology)
+    : _procs(procs), _radix(radix < 2 ? 2 : radix), _topology(topology),
+      _maxLoad(max_load),
+      _group("network", parent),
+      _packets(&_group, "packets", "total network packets"),
+      _words(&_group, "words", "total data words moved"),
+      _loadAvg(&_group, "load", "offered load per window")
+{
+    if (_topology == Topology::MIN) {
+        unsigned n = 0;
+        std::uint64_t span = 1;
+        while (span < _procs) {
+            span *= _radix;
+            ++n;
+        }
+        _stages = n ? n : 1;
+    } else {
+        // T3D-like 3-D torus, dimension-order routing: with k nodes per
+        // dimension the average distance per dimension is k/4 (wrap
+        // links), so ~3k/4 hops per traversal.
+        unsigned k = 1;
+        while (std::uint64_t(k) * k * k < _procs)
+            ++k;
+        unsigned hops = (3 * k + 3) / 4;
+        _stages = hops ? hops : 1;
+    }
+}
+
+void
+Network::addTraffic(Counter packets, Counter words)
+{
+    _packets += packets;
+    _words += words;
+    // Channel occupancy is per flit: a line transfer loads the network in
+    // proportion to its words; header-only packets count as one flit.
+    _windowFlits += words > 0 ? words : packets;
+}
+
+void
+Network::endWindow(Cycles now)
+{
+    if (now > _windowStart) {
+        double cycles = static_cast<double>(now - _windowStart);
+        double rho = static_cast<double>(_windowFlits) /
+                     (cycles * _procs);
+        if (rho > _maxLoad)
+            rho = _maxLoad;
+        _load = rho;
+        _loadAvg.sample(rho);
+    }
+    _windowStart = now;
+    _windowFlits = 0;
+}
+
+double
+Network::traversalWait() const
+{
+    if (_topology == Topology::MIN) {
+        // Kruskal-Snir mean waiting time per stage times the stage count.
+        double per_stage =
+            _load * (1.0 - 1.0 / _radix) / (2.0 * (1.0 - _load));
+        return per_stage * _stages;
+    }
+    // Torus: each hop contends with the two other dimensions plus
+    // through traffic; the M/M/1-style term without the radix discount.
+    double per_hop = _load / (2.0 * (1.0 - _load));
+    return per_hop * _stages;
+}
+
+Cycles
+Network::contentionDelay(unsigned traversals) const
+{
+    double d = traversalWait() * traversals;
+    return static_cast<Cycles>(std::llround(d));
+}
+
+} // namespace net
+} // namespace hscd

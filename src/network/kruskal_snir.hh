@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Analytic contention model for buffered multistage interconnection
+ * networks, after Kruskal and Snir [24].
+ *
+ * For a k-ary buffered banyan under offered load rho (packets per port
+ * per cycle), the mean waiting time per stage is
+ *
+ *     w(rho) = rho * (1 - 1/k) / (2 * (1 - rho))
+ *
+ * and a traversal of the n = ceil(log_k P) stages costs n * (1 + w).
+ * The simulator measures offered load over an execution window (an epoch)
+ * and applies the resulting contention delay to the next window - a
+ * standard one-step-lag fixed point that keeps the simulation
+ * deterministic.
+ */
+
+#ifndef HSCD_NETWORK_KRUSKAL_SNIR_HH
+#define HSCD_NETWORK_KRUSKAL_SNIR_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/machine_config.hh"
+
+namespace hscd {
+namespace net {
+
+class Network
+{
+  public:
+    Network(stats::StatGroup *parent, unsigned procs, unsigned radix,
+            double max_load, Topology topology = Topology::MIN);
+
+    /** Switch stages (MIN) or average routing hops (torus). */
+    unsigned stages() const { return _stages; }
+    Topology topology() const { return _topology; }
+
+    /** Record @p packets network packets carrying @p words words. */
+    void addTraffic(Counter packets, Counter words);
+
+    /** Close the current measurement window ending at @p now. */
+    void endWindow(Cycles now);
+
+    /** Offered load used for the current window's delays. */
+    double load() const { return _load; }
+
+    /** Mean queueing delay for one network traversal (cycles). */
+    double traversalWait() const;
+
+    /** Contention cycles added to an access with @p traversals hops. */
+    Cycles contentionDelay(unsigned traversals) const;
+
+    Counter totalPackets() const { return _packets.value(); }
+    Counter totalWords() const { return _words.value(); }
+
+  private:
+    unsigned _procs;
+    unsigned _radix;
+    Topology _topology;
+    unsigned _stages;
+    double _maxLoad;
+    double _load = 0.0;
+
+    Cycles _windowStart = 0;
+    Counter _windowFlits = 0;
+
+    stats::StatGroup _group;
+    stats::Scalar _packets;
+    stats::Scalar _words;
+    stats::Average _loadAvg;
+};
+
+} // namespace net
+} // namespace hscd
+
+#endif // HSCD_NETWORK_KRUSKAL_SNIR_HH

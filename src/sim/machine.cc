@@ -1,0 +1,550 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/strutil.hh"
+#include "sim/interp.hh"
+#include "sim/trace.hh"
+
+namespace hscd {
+namespace sim {
+
+using compiler::MarkKind;
+using mem::MemOp;
+using mem::ValueStamp;
+
+std::string
+RunResult::summary() const
+{
+    return csprintf(
+        "cycles=%d epochs=%d reads=%d writes=%d miss_rate=%.4f "
+        "avg_miss_lat=%.1f traffic=%d oracle_violations=%d",
+        cycles, epochs, reads, writes, readMissRate, avgMissLatency,
+        trafficWords, oracleViolations);
+}
+
+/**
+ * Execution engine: walks the program with a master serial stream and
+ * interleaves parallel-epoch task streams in global time order.
+ */
+class Executor
+{
+  public:
+    explicit Executor(Machine &m)
+        : _m(m), _cfg(m._cfg), _prog(m._cp.program),
+          _marking(m._cp.marking), _scheme(*m._scheme),
+          _lastStamp(m._memory.words(), 0),
+          _procTime(m._cfg.procs, 0),
+          _busy(m._cfg.procs, 0),
+          _rng(m._cfg.migrationSeed)
+    {
+    }
+
+    RunResult
+    run()
+    {
+        RunCtx ctx;
+        TaskStream master(_prog, ctx, _prog.main().body);
+        while (true) {
+            TaskOp op = master.next();
+            if (op.kind == TaskOp::Kind::End)
+                break;
+            switch (op.kind) {
+              case TaskOp::Kind::Ref:
+                issueRef(_serialProc, op, -1);
+                break;
+              case TaskOp::Kind::Compute:
+                _procTime[_serialProc] += op.cycles;
+                break;
+              case TaskOp::Kind::LockAcquire:
+                _procTime[_serialProc] += _cfg.lockCycles;
+                _inCritical[_serialProc] = true;
+                break;
+              case TaskOp::Kind::LockRelease:
+                _inCritical[_serialProc] = false;
+                break;
+              case TaskOp::Kind::Post:
+                // Release semantics: pending writes drain first.
+                _procTime[_serialProc] =
+                    std::max(_procTime[_serialProc],
+                             _scheme.writeDrainTime(_serialProc));
+                _serialPosted.insert(op.flag);
+                break;
+              case TaskOp::Kind::Wait:
+                if (!_serialPosted.count(op.flag))
+                    fatal("serial wait(%d) with no prior post: deadlock",
+                          op.flag);
+                _procTime[_serialProc] += _cfg.lockCycles;
+                break;
+              case TaskOp::Kind::CallBoundary:
+                if (_cfg.flushAtCalls) {
+                    _scheme.flushCache(_serialProc);
+                    _procTime[_serialProc] += _cfg.callFlushCycles;
+                }
+                break;
+              case TaskOp::Kind::Barrier:
+                boundary();
+                break;
+              case TaskOp::Kind::BeginDoall:
+                boundary();
+                runParallel(op, master.env(), ctx);
+                boundary();
+                migrateSerialTask();
+                break;
+              case TaskOp::Kind::End:
+                break;
+            }
+        }
+        finish();
+        return _res;
+    }
+
+  private:
+    /**
+     * The paper's Section 5 migration study: between epochs the serial
+     * task may be rescheduled onto another processor. Sound only when the
+     * program was compiled without the serial-affinity assumption; the
+     * oracle flags the stale reads otherwise.
+     */
+    void
+    migrateSerialTask()
+    {
+        if (_cfg.migrationRate <= 0.0 || _cfg.procs < 2)
+            return;
+        if (_rng.real() < _cfg.migrationRate) {
+            _scheme.migrationDrain(_serialProc);
+            ProcId next = static_cast<ProcId>(
+                _rng.below(_cfg.procs - 1));
+            if (next >= _serialProc)
+                ++next;
+            // The task resumes no earlier than where it left off.
+            _procTime[next] =
+                std::max(_procTime[next], _procTime[_serialProc]);
+            _serialProc = next;
+        }
+    }
+
+    void
+    boundary()
+    {
+        Cycles t = 0;
+        for (ProcId p = 0; p < _cfg.procs; ++p) {
+            t = std::max(t, _procTime[p]);
+            t = std::max(t, _scheme.writeDrainTime(p));
+        }
+        t += _cfg.barrierCycles;
+        ++_epoch;
+        if (_m._trace)
+            _m._trace->onBoundary(_epoch);
+        t += _scheme.epochBoundary(_epoch);
+        for (ProcId p = 0; p < _cfg.procs; ++p)
+            _procTime[p] = t;
+        _m._network.endWindow(t);
+        _epochAccess.clear();
+        _serialPosted.clear();
+        ++_res.epochs;
+    }
+
+    void
+    finish()
+    {
+        Cycles t = 0;
+        for (ProcId p = 0; p < _cfg.procs; ++p) {
+            t = std::max(t, _procTime[p]);
+            t = std::max(t, _scheme.writeDrainTime(p));
+        }
+        _m._network.endWindow(t);
+        _res.cycles = t;
+
+        const mem::SchemeStats &st = _scheme.stats();
+        _res.reads = st.reads.value();
+        _res.writes = st.writes.value();
+        _res.readHits = st.readHits.value();
+        _res.readMisses = st.readMisses.value();
+        _res.readMissRate = _scheme.readMissRate();
+        _res.avgMissLatency = st.missLatency.mean();
+        _res.missCold = st.missCold.value();
+        _res.missReplacement = st.missReplacement.value();
+        _res.missTrueShare = st.missTrueShare.value();
+        _res.missFalseShare = st.missFalseShare.value();
+        _res.missConservative = st.missConservative.value();
+        _res.missTagReset = st.missTagReset.value();
+        _res.missUncached = st.missUncached.value();
+        _res.timeReads = st.timeReads.value();
+        _res.timeReadHits = st.timeReadHits.value();
+        _res.bypassReads = st.bypassReads.value();
+        _res.readPackets = st.readPackets.value();
+        _res.writePackets = st.writePackets.value();
+        _res.coherencePackets = st.coherencePackets.value();
+        _res.writebackPackets = st.writebackPackets.value();
+        _res.readWords = st.readWords.value();
+        _res.writeWords = st.writeWords.value();
+        _res.writebackWords = st.writebackWords.value();
+        _res.trafficPackets = _m._network.totalPackets();
+        _res.trafficWords = _m._network.totalWords();
+
+        Cycles busy_sum = 0;
+        for (ProcId p = 0; p < _cfg.procs; ++p) {
+            _res.busyMax = std::max(_res.busyMax, _busy[p]);
+            busy_sum += _busy[p];
+        }
+        _res.busyAvg = double(busy_sum) / double(_cfg.procs);
+        _res.serialCycles =
+            _res.cycles > _parallelWall ? _res.cycles - _parallelWall : 0;
+    }
+
+    /** DOALL legality: cross-task same-word conflicts are data races. */
+    void
+    checkLegality(Addr addr, std::int64_t task, bool write, bool critical)
+    {
+        auto [it, inserted] = _epochAccess.try_emplace(
+            addr / 4, AccessRec{task, write, critical});
+        if (inserted)
+            return;
+        AccessRec &rec = it->second;
+        // Post/wait epochs may pass data between tasks legally; ordering
+        // correctness is still checked by the value-stamp oracle.
+        if (!_syncEpoch && rec.task != task && (write || rec.wrote) &&
+            !(critical && rec.critical))
+            ++_res.doallViolations;
+        rec.wrote |= write;
+        rec.critical &= critical;
+        if (rec.task != task)
+            rec.task = task; // track the latest toucher
+    }
+
+    void
+    issueRef(ProcId proc, const TaskOp &op, std::int64_t task)
+    {
+        const compiler::Mark &mark = _marking.mark(op.ref);
+        bool critical = mark.reason == compiler::MarkReason::Critical ||
+                        _inCritical[proc];
+        checkLegality(op.addr, task, op.write, critical);
+
+        MemOp mop;
+        mop.proc = proc;
+        mop.addr = op.addr;
+        mop.write = op.write;
+        mop.arrayId = op.array;
+        // Lock- or sync-ordered epochs allow another task to write the
+        // same word later in the epoch; TPI must not vouch for such
+        // writes beyond EC - 1.
+        mop.critical = _inCritical[proc] || _syncEpoch;
+        mop.now = _procTime[proc];
+        if (op.write) {
+            mop.stamp = ++_stampCounter;
+            _lastStamp[op.addr / 4] = mop.stamp;
+        } else {
+            mop.mark = mark.kind;
+            mop.distance = mark.distance;
+        }
+
+        if (_m._trace)
+            _m._trace->onAccess(mop);
+        mem::AccessResult res = _scheme.access(mop);
+        _procTime[proc] += res.stall;
+
+        if (!op.write) {
+            ValueStamp expected = _lastStamp[op.addr / 4];
+            if (res.observed != expected) {
+                ++_res.oracleViolations;
+                if (_res.firstViolations.size() < 8) {
+                    _res.firstViolations.push_back(OracleViolation{
+                        op.addr, op.ref, res.observed, expected, _epoch,
+                        proc});
+                }
+            }
+        }
+    }
+
+    /** Does the DOALL body contain post/wait (memoized)? */
+    bool
+    doallHasSync(const hir::LoopStmt *loop)
+    {
+        auto it = _doallSync.find(loop);
+        if (it != _doallSync.end())
+            return it->second;
+        std::function<bool(const hir::StmtList &)> scan =
+            [&](const hir::StmtList &body) {
+                for (const auto &s : body) {
+                    switch (s->kind()) {
+                      case hir::StmtKind::Sync:
+                        return true;
+                      case hir::StmtKind::Loop:
+                        if (scan(static_cast<const hir::LoopStmt &>(*s)
+                                     .body))
+                            return true;
+                        break;
+                      case hir::StmtKind::IfUnknown: {
+                        const auto &br =
+                            static_cast<const hir::IfUnknownStmt &>(*s);
+                        if (scan(br.thenBody) || scan(br.elseBody))
+                            return true;
+                        break;
+                      }
+                      case hir::StmtKind::Critical:
+                        if (scan(static_cast<const hir::CriticalStmt &>(
+                                     *s).body))
+                            return true;
+                        break;
+                      case hir::StmtKind::Call:
+                        if (scan(_prog.procedures()
+                                     [static_cast<const hir::CallStmt &>(
+                                          *s).callee].body))
+                            return true;
+                        break;
+                      default:
+                        break;
+                    }
+                }
+                return false;
+            };
+        bool has = scan(loop->body);
+        _doallSync[loop] = has;
+        return has;
+    }
+
+    void
+    runParallel(const TaskOp &doall, const hir::Env &outer, RunCtx &ctx)
+    {
+        ++_res.parallelEpochs;
+        _syncEpoch = doallHasSync(doall.doall);
+        const unsigned P = _cfg.procs;
+        const Cycles epoch_start = _procTime[0]; // all equal post-barrier
+
+        std::vector<std::unique_ptr<TaskStream>> streams;
+        streams.reserve(P);
+        for (unsigned p = 0; p < P; ++p)
+            streams.push_back(std::make_unique<TaskStream>(
+                _prog, ctx, *doall.doall, outer));
+
+        // Iteration list.
+        std::vector<std::int64_t> iters;
+        for (std::int64_t i = doall.lo; i <= doall.hi; i += doall.step)
+            iters.push_back(i);
+        _res.tasks += iters.size();
+
+        std::size_t next_dyn = 0;
+        switch (_cfg.sched) {
+          case SchedPolicy::Block: {
+            std::size_t chunk = (iters.size() + P - 1) / P;
+            for (unsigned p = 0; p < P; ++p) {
+                std::size_t b = p * chunk;
+                std::size_t e = std::min(iters.size(), b + chunk);
+                for (std::size_t i = b; i < e; ++i)
+                    streams[p]->addIteration(iters[i]);
+            }
+            break;
+          }
+          case SchedPolicy::Cyclic:
+            for (std::size_t i = 0; i < iters.size(); ++i)
+                streams[i % P]->addIteration(iters[i]);
+            break;
+          case SchedPolicy::Dynamic:
+            for (unsigned p = 0; p < P && next_dyn < iters.size(); ++p)
+                for (unsigned c = 0;
+                     c < _cfg.dynamicChunk && next_dyn < iters.size(); ++c)
+                    streams[p]->addIteration(iters[next_dyn++]);
+            break;
+        }
+
+        // Global-time interleaving.
+        using Entry = std::pair<Cycles, ProcId>;
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+        for (unsigned p = 0; p < P; ++p)
+            pq.emplace(_procTime[p], p);
+
+        ProcId lock_owner = invalidProc;
+        unsigned lock_depth = 0;
+        std::deque<ProcId> lock_waiters;
+        std::map<std::int64_t, Cycles> posted;        // flag -> post time
+        std::map<std::int64_t, std::vector<ProcId>> sync_waiters;
+        std::size_t parked = 0;
+
+        while (!pq.empty()) {
+            auto [t, p] = pq.top();
+            pq.pop();
+            TaskOp op = streams[p]->next();
+            switch (op.kind) {
+              case TaskOp::Kind::Ref:
+                issueRef(p, op, streams[p]->currentIteration());
+                pq.emplace(_procTime[p], p);
+                break;
+              case TaskOp::Kind::Compute:
+                _procTime[p] += op.cycles;
+                pq.emplace(_procTime[p], p);
+                break;
+              case TaskOp::Kind::LockAcquire:
+                if (lock_owner == p) {
+                    // Re-entrant acquisition of the single global lock.
+                    ++lock_depth;
+                    pq.emplace(_procTime[p], p);
+                } else if (lock_owner == invalidProc) {
+                    lock_owner = p;
+                    lock_depth = 1;
+                    _inCritical[p] = true;
+                    _procTime[p] += _cfg.lockCycles;
+                    pq.emplace(_procTime[p], p);
+                } else {
+                    lock_waiters.push_back(p); // parked
+                }
+                break;
+              case TaskOp::Kind::LockRelease: {
+                hscd_assert(lock_owner == p, "release by non-owner");
+                if (--lock_depth > 0) {
+                    pq.emplace(_procTime[p], p);
+                    break;
+                }
+                _inCritical[p] = false;
+                lock_owner = invalidProc;
+                if (!lock_waiters.empty()) {
+                    ProcId q = lock_waiters.front();
+                    lock_waiters.pop_front();
+                    _procTime[q] =
+                        std::max(_procTime[q], _procTime[p]) +
+                        _cfg.lockCycles;
+                    lock_owner = q;
+                    lock_depth = 1;
+                    _inCritical[q] = true;
+                    pq.emplace(_procTime[q], q);
+                }
+                pq.emplace(_procTime[p], p);
+                break;
+              }
+              case TaskOp::Kind::Post: {
+                // Release: drain the poster's write buffer first.
+                _procTime[p] =
+                    std::max(_procTime[p], _scheme.writeDrainTime(p));
+                posted.emplace(op.flag, _procTime[p]);
+                auto wit = sync_waiters.find(op.flag);
+                if (wit != sync_waiters.end()) {
+                    for (ProcId q : wit->second) {
+                        _procTime[q] =
+                            std::max(_procTime[q], _procTime[p]) +
+                            _cfg.lockCycles;
+                        pq.emplace(_procTime[q], q);
+                        --parked;
+                    }
+                    sync_waiters.erase(wit);
+                }
+                pq.emplace(_procTime[p], p);
+                break;
+              }
+              case TaskOp::Kind::Wait: {
+                auto pit = posted.find(op.flag);
+                if (pit != posted.end()) {
+                    _procTime[p] =
+                        std::max(_procTime[p], pit->second) +
+                        _cfg.lockCycles;
+                    pq.emplace(_procTime[p], p);
+                } else {
+                    sync_waiters[op.flag].push_back(p);
+                    ++parked;
+                }
+                break;
+              }
+              case TaskOp::Kind::CallBoundary:
+                if (_cfg.flushAtCalls) {
+                    _scheme.flushCache(p);
+                    _procTime[p] += _cfg.callFlushCycles;
+                }
+                pq.emplace(_procTime[p], p);
+                break;
+              case TaskOp::Kind::End:
+                if (_cfg.sched == SchedPolicy::Dynamic &&
+                    next_dyn < iters.size())
+                {
+                    for (unsigned c = 0;
+                         c < _cfg.dynamicChunk && next_dyn < iters.size();
+                         ++c)
+                        streams[p]->addIteration(iters[next_dyn++]);
+                    pq.emplace(_procTime[p], p);
+                }
+                break;
+              default:
+                panic("unexpected op in a task stream");
+            }
+        }
+        if (parked != 0)
+            fatal("deadlock: %d processors waiting on never-posted "
+                  "flags at the end of a parallel epoch", parked);
+        hscd_assert(lock_owner == invalidProc && lock_waiters.empty(),
+                    "deadlocked critical section at epoch end");
+        _syncEpoch = false;
+
+        Cycles wall = 0;
+        for (unsigned p = 0; p < P; ++p) {
+            _busy[p] += _procTime[p] - epoch_start;
+            wall = std::max(wall, _procTime[p] - epoch_start);
+        }
+        _parallelWall += wall;
+    }
+
+    struct AccessRec
+    {
+        std::int64_t task;
+        bool wrote;
+        bool critical;
+    };
+
+    Machine &_m;
+    const MachineConfig &_cfg;
+    const hir::Program &_prog;
+    const compiler::Marking &_marking;
+    mem::CoherenceScheme &_scheme;
+
+    std::vector<ValueStamp> _lastStamp;
+    ValueStamp _stampCounter = 0;
+    std::vector<Cycles> _procTime;
+    std::vector<Cycles> _busy;
+    Cycles _parallelWall = 0;
+    std::unordered_map<std::uint64_t, AccessRec> _epochAccess;
+    std::unordered_map<ProcId, bool> _inCritical;
+    std::set<std::int64_t> _serialPosted;
+    std::map<const hir::LoopStmt *, bool> _doallSync;
+    bool _syncEpoch = false;
+    EpochId _epoch = 0;
+    ProcId _serialProc = 0;
+    Rng _rng;
+    RunResult _res;
+};
+
+Machine::Machine(const compiler::CompiledProgram &cp, MachineConfig cfg)
+    : _cp(cp), _cfg(std::move(cfg)), _root("machine"),
+      _memory(cp.program.dataBytes()),
+      _network(&_root, _cfg.procs, _cfg.networkRadix, _cfg.maxNetworkLoad,
+               _cfg.topology),
+      _scheme(mem::makeScheme(_cfg, _memory, _network, &_root))
+{
+    _cfg.validate();
+}
+
+Machine::~Machine() = default;
+
+RunResult
+Machine::run()
+{
+    hscd_assert(!_ran, "Machine::run() is single-shot");
+    _ran = true;
+    Executor ex(*this);
+    return ex.run();
+}
+
+RunResult
+simulate(const compiler::CompiledProgram &cp, const MachineConfig &cfg)
+{
+    Machine m(cp, cfg);
+    return m.run();
+}
+
+} // namespace sim
+} // namespace hscd

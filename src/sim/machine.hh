@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The simulated multiprocessor: processors, caches, coherence scheme,
+ * interconnect, memory, and the execution-driven engine that runs a
+ * compiled program on them in global time order.
+ */
+
+#ifndef HSCD_SIM_MACHINE_HH
+#define HSCD_SIM_MACHINE_HH
+
+#include <memory>
+
+#include "compiler/analysis.hh"
+#include "mem/coherence.hh"
+#include "mem/memory.hh"
+#include "network/kruskal_snir.hh"
+#include "sim/result.hh"
+
+namespace hscd {
+namespace sim {
+
+class TraceSink;
+
+class Machine
+{
+  public:
+    /** @p cp must outlive the machine. */
+    Machine(const compiler::CompiledProgram &cp, MachineConfig cfg);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Record every scheme-visible event into @p sink during run(). */
+    void setTraceSink(TraceSink *sink) { _trace = sink; }
+
+    /** Execute the whole program; callable once. */
+    RunResult run();
+
+    const MachineConfig &config() const { return _cfg; }
+    const mem::CoherenceScheme &scheme() const { return *_scheme; }
+    const net::Network &network() const { return _network; }
+    stats::StatGroup &statsRoot() { return _root; }
+
+  private:
+    friend class Executor;
+
+    const compiler::CompiledProgram &_cp;
+    MachineConfig _cfg;
+    stats::StatGroup _root;
+    mem::MainMemory _memory;
+    net::Network _network;
+    std::unique_ptr<mem::CoherenceScheme> _scheme;
+    TraceSink *_trace = nullptr;
+    bool _ran = false;
+};
+
+/** Convenience: compile nothing, just run @p cp under @p cfg. */
+RunResult simulate(const compiler::CompiledProgram &cp,
+                   const MachineConfig &cfg);
+
+} // namespace sim
+} // namespace hscd
+
+#endif // HSCD_SIM_MACHINE_HH

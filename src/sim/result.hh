@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Results of one simulated run.
+ */
+
+#ifndef HSCD_SIM_RESULT_HH
+#define HSCD_SIM_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/coherence.hh"
+
+namespace hscd {
+namespace sim {
+
+/** A read observed a value other than the last one written before it. */
+struct OracleViolation
+{
+    Addr addr = 0;
+    hir::RefId ref = hir::invalidRef;
+    mem::ValueStamp seen = 0;
+    mem::ValueStamp expected = 0;
+    EpochId epoch = 0;
+    ProcId proc = 0;
+};
+
+struct RunResult
+{
+    Cycles cycles = 0;           ///< parallel execution time
+    EpochId epochs = 0;          ///< boundaries crossed
+    Counter parallelEpochs = 0;  ///< DOALL instances executed
+    Counter tasks = 0;           ///< DOALL iterations executed
+
+    Counter reads = 0;
+    Counter writes = 0;
+    Counter readHits = 0;
+    Counter readMisses = 0;
+    double readMissRate = 0;
+    double avgMissLatency = 0;
+
+    Counter missCold = 0;
+    Counter missReplacement = 0;
+    Counter missTrueShare = 0;
+    Counter missFalseShare = 0;
+    Counter missConservative = 0;
+    Counter missTagReset = 0;
+    Counter missUncached = 0;
+
+    Counter timeReads = 0;
+    Counter timeReadHits = 0;
+    Counter bypassReads = 0;
+
+    Counter readPackets = 0;
+    Counter writePackets = 0;
+    Counter coherencePackets = 0;
+    Counter writebackPackets = 0;
+    Counter readWords = 0;
+    Counter writeWords = 0;
+    Counter writebackWords = 0;
+    Counter trafficPackets = 0;
+    Counter trafficWords = 0;
+
+    /** Busiest / average processor work inside parallel epochs. */
+    Cycles busyMax = 0;
+    double busyAvg = 0;
+    /** busyMax / busyAvg: 1.0 means perfectly balanced DOALLs. */
+    double
+    imbalance() const
+    {
+        return busyAvg > 0 ? double(busyMax) / busyAvg : 1.0;
+    }
+    /** Cycles spent outside parallel epochs (serial + barriers). */
+    Cycles serialCycles = 0;
+
+    /** Coherence errors (must be 0 for a sound scheme + legal program). */
+    Counter oracleViolations = 0;
+    /** Data races that make the program an illegal DOALL program. */
+    Counter doallViolations = 0;
+    std::vector<OracleViolation> firstViolations;
+
+    /** Unnecessary coherence misses (conservative + false sharing). */
+    Counter
+    unnecessaryMisses() const
+    {
+        return missConservative + missFalseShare;
+    }
+
+    std::string summary() const;
+};
+
+} // namespace sim
+} // namespace hscd
+
+#endif // HSCD_SIM_RESULT_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Memory-event trace capture and replay.
+ *
+ * The execution-driven engine can emit every scheme-visible event (one
+ * record per reference plus epoch boundaries) to a trace; traces replay
+ * through any coherence scheme without re-interpreting the program -
+ * the classic trace-driven workflow of the era ([32] pairs both modes).
+ * The text format is stable and diff-friendly:
+ *
+ *     H hscd-trace 1 <procs> <dataBytes>
+ *     A <proc> <addr> <R|W> <mark> <dist> <stamp> <crit>
+ *     B <epoch>
+ */
+
+#ifndef HSCD_SIM_TRACE_HH
+#define HSCD_SIM_TRACE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "mem/coherence.hh"
+#include "sim/result.hh"
+
+namespace hscd {
+namespace sim {
+
+struct TraceRecord
+{
+    enum class Type : std::uint8_t { Access, Boundary };
+
+    Type type = Type::Access;
+    mem::MemOp op{};       ///< valid for Access (op.now unused on replay)
+    EpochId epoch = 0;     ///< valid for Boundary
+};
+
+/** Receives events during an instrumented run. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void onAccess(const mem::MemOp &op) = 0;
+    virtual void onBoundary(EpochId epoch) = 0;
+};
+
+/** Collects records in memory. */
+class TraceBuffer : public TraceSink
+{
+  public:
+    void onAccess(const mem::MemOp &op) override;
+    void onBoundary(EpochId epoch) override;
+
+    const std::vector<TraceRecord> &records() const { return _records; }
+    std::vector<TraceRecord> take() { return std::move(_records); }
+
+  private:
+    std::vector<TraceRecord> _records;
+};
+
+/** Serialize records (with a header carrying machine facts). */
+void writeTrace(std::ostream &os, const std::vector<TraceRecord> &records,
+                unsigned procs, Addr data_bytes);
+
+/** Parse a trace; fatal() on malformed input. */
+struct ParsedTrace
+{
+    std::vector<TraceRecord> records;
+    unsigned procs = 0;
+    Addr dataBytes = 0;
+};
+ParsedTrace readTrace(std::istream &is);
+
+/** Outcome of a trace replay. */
+struct ReplayResult
+{
+    Counter reads = 0;
+    Counter writes = 0;
+    Counter readMisses = 0;
+    double readMissRate = 0;
+    Counter missConservative = 0;
+    Counter missFalseShare = 0;
+    Counter trafficWords = 0;
+    Cycles cycles = 0;
+};
+
+/**
+ * Drive @p cfg's scheme with a recorded trace. Per-processor clocks
+ * advance by each access's stall; boundaries synchronize all clocks.
+ */
+ReplayResult replayTrace(const std::vector<TraceRecord> &records,
+                         const MachineConfig &cfg, Addr data_bytes);
+
+} // namespace sim
+} // namespace hscd
+
+#endif // HSCD_SIM_TRACE_HH

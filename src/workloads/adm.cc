@@ -1,0 +1,111 @@
+/**
+ * @file
+ * ADM-like kernel: pseudospectral air-pollution transport (3-D
+ * advection-diffusion).
+ *
+ * Structure modeled: operator splitting alternates (a) implicit vertical
+ * diffusion - DOALL over horizontal columns, each task running a
+ * tridiagonal forward-elimination / back-substitution over its column
+ * with strong intra-task temporal locality (covered reads) - and (b)
+ * horizontal advection sweeps that read the field transposed, so the
+ * sharing pattern flips between phases.
+ */
+
+#include "hir/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace hscd {
+namespace workloads {
+
+using hir::ProgramBuilder;
+
+hir::Program
+buildAdm(int scale)
+{
+    const std::int64_t nh = 16L * scale; // horizontal columns
+    const std::int64_t nz = 12;          // vertical levels
+    const int steps = 3;
+
+    ProgramBuilder b;
+    b.param("NH", nh);
+    b.param("NZ", nz);
+    b.array("Q", {"NZ", "NH"});    // concentration, species 1
+    b.array("Q2", {"NZ", "NH"});   // concentration, species 2
+    b.array("WK", {"NZ", "NH"});   // elimination workspace
+    b.array("KV", {"NZ"});         // diffusivity profile (read-only)
+    b.array("FLX", {"NH"});        // horizontal fluxes
+    b.array("EMIT", {"NH"});       // surface emissions (serial update)
+
+    b.proc("MAIN", [&] {
+        b.doserial("iz", 0, nz - 1, [&] {
+            b.doserial("ih", 0, nh - 1, [&] {
+                b.write("Q", {b.v("iz"), b.v("ih")});
+                b.write("Q2", {b.v("iz"), b.v("ih")});
+            });
+        });
+
+        b.doserial("t", 0, steps - 1, [&] {
+            // Serial emission update (ground-level sources) feeding the
+            // surface layer of both species.
+            b.doserial("e", 0, nh - 1, [&] {
+                b.read("EMIT", {b.v("e")});
+                b.write("EMIT", {b.v("e")});
+            });
+            b.doall("ce", 0, nh - 1, [&] {
+                b.read("EMIT", {b.v("ce")});
+                b.read("Q", {b.c(0), b.v("ce")});
+                b.write("Q", {b.c(0), b.v("ce")});
+                b.read("Q2", {b.c(0), b.v("ce")});
+                b.write("Q2", {b.c(0), b.v("ce")});
+            });
+            // Chemistry: local coupling between the species per column.
+            b.doall("cc", 0, nh - 1, [&] {
+                b.doserial("cz", 0, nz - 1, [&] {
+                    b.read("Q", {b.v("cz"), b.v("cc")});
+                    b.read("Q2", {b.v("cz"), b.v("cc")});
+                    b.compute(5);
+                    b.write("Q2", {b.v("cz"), b.v("cc")});
+                });
+            });
+            // Vertical implicit solve: one tridiagonal system per column.
+            b.doall("c", 0, nh - 1, [&] {
+                // Forward elimination (downward sweep).
+                b.doserial("z", 1, nz - 1, [&] {
+                    b.read("KV", {b.v("z")});
+                    b.read("Q", {b.v("z"), b.v("c")});
+                    b.read("WK", {b.v("z") - 1, b.v("c")});
+                    b.compute(4);
+                    b.write("WK", {b.v("z"), b.v("c")});
+                });
+                // Back substitution (upward sweep): WK reads covered.
+                b.doserial("z2", 1, nz - 1, [&] {
+                    b.read("WK", {b.p("NZ") - 1 - b.v("z2"), b.v("c")});
+                    b.compute(3);
+                    b.write("Q", {b.p("NZ") - 1 - b.v("z2"), b.v("c")});
+                });
+            });
+            // Horizontal advection: level-parallel, transposed reads.
+            b.doall("zl", 0, nz - 1, [&] {
+                b.doserial("x", 1, nh - 2, [&] {
+                    b.read("Q", {b.v("zl"), b.v("x") - 1});
+                    b.read("Q", {b.v("zl"), b.v("x") + 1});
+                    b.compute(3);
+                });
+                b.write("FLX", {b.v("zl")});
+            });
+            // Apply fluxes back onto the field.
+            b.doall("c2", 0, nh - 1, [&] {
+                b.doserial("z3", 0, nz - 1, [&] {
+                    b.read("FLX", {b.v("z3")});
+                    b.read("Q", {b.v("z3"), b.v("c2")});
+                    b.compute(2);
+                    b.write("Q", {b.v("z3"), b.v("c2")});
+                });
+            });
+        });
+    });
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace hscd

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * FLO52-like kernel: transonic flow over an airfoil, multigrid Euler.
+ *
+ * Structure modeled: each multigrid cycle smooths on the fine grid,
+ * restricts the residual to two successively coarser grids, smooths
+ * there, and prolongs the correction back. The per-level working sets
+ * differ by 4x, exercising replacement behaviour, and the inter-level
+ * transfers use strided (every-other-point) sections.
+ */
+
+#include "hir/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace hscd {
+namespace workloads {
+
+using hir::ProgramBuilder;
+
+hir::Program
+buildFlo52(int scale)
+{
+    const std::int64_t n0 = 64L * scale; // fine grid
+    const std::int64_t n1 = n0 / 2;
+    const std::int64_t n2 = n0 / 4;
+    const int cycles = 3;
+
+    ProgramBuilder b;
+    b.param("N0", n0);
+    b.param("N1", n1);
+    b.param("N2", n2);
+    b.array("W0", {"N0"}); // fine-grid state
+    b.array("W1", {"N1"});
+    b.array("W2", {"N2"});
+    b.array("R0", {"N0"}); // residuals
+    b.array("R1", {"N1"});
+
+    // Red-black smoothing: odd points update from (untouched) even
+    // neighbours, then vice versa - the standard legal parallelization of
+    // an in-place relaxation.
+    auto smooth = [&](const std::string &arr, std::int64_t n,
+                      const std::string &var) {
+        for (int color = 0; color < 2; ++color) {
+            std::string v = var + (color ? "r" : "b");
+            b.doall(v, 1 + color, n - 2, [&] {
+                b.read(arr, {b.v(v) - 1});
+                b.read(arr, {b.v(v)});
+                b.read(arr, {b.v(v) + 1});
+                b.compute(5);
+                b.write(arr, {b.v(v)});
+            }, 2);
+        }
+    };
+
+    b.proc("MAIN", [&] {
+        b.doserial("init", 0, n0 - 1, [&] {
+            b.write("W0", {b.v("init")});
+        });
+
+        b.doserial("c", 0, cycles - 1, [&] {
+            smooth("W0", n0, "s0");
+            // Residual on the fine grid.
+            b.doall("r", 1, n0 - 2, [&] {
+                b.read("W0", {b.v("r") - 1});
+                b.read("W0", {b.v("r") + 1});
+                b.compute(3);
+                b.write("R0", {b.v("r")});
+            });
+            // Restrict: coarse point j gathers fine points 2j-1..2j+1.
+            b.doall("j", 1, n1 - 2, [&] {
+                b.read("R0", {b.v("j") * 2 - 1});
+                b.read("R0", {b.v("j") * 2});
+                b.read("R0", {b.v("j") * 2 + 1});
+                b.compute(2);
+                b.write("W1", {b.v("j")});
+            });
+            smooth("W1", n1, "s1");
+            b.doall("j2", 1, n2 - 2, [&] {
+                b.read("W1", {b.v("j2") * 2 - 1});
+                b.read("W1", {b.v("j2") * 2});
+                b.read("W1", {b.v("j2") * 2 + 1});
+                b.compute(2);
+                b.write("W2", {b.v("j2")});
+            });
+            smooth("W2", n2, "s2");
+            // Prolong the coarse correction back up (strided writes).
+            b.doall("p1", 1, n2 - 2, [&] {
+                b.read("W2", {b.v("p1")});
+                b.write("R1", {b.v("p1") * 2});
+                b.write("R1", {b.v("p1") * 2 + 1});
+            });
+            b.doall("p0", 1, n1 - 2, [&] {
+                b.read("R1", {b.v("p0")});
+                b.read("W1", {b.v("p0")});
+                b.compute(2);
+                b.write("W0", {b.v("p0") * 2});
+                b.write("W0", {b.v("p0") * 2 + 1});
+            });
+            smooth("W0", n0, "s3");
+        });
+    });
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace hscd

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * OCEAN-like kernel: 2-D ocean basin circulation.
+ *
+ * Structure modeled: double-buffered 5-point stencil relaxation sweeps
+ * over the stream-function grid, serial boundary-condition updates
+ * between sweeps (serial-to-parallel sharing), and a residual reduction
+ * accumulated in a critical section every few steps.
+ */
+
+#include "hir/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace hscd {
+namespace workloads {
+
+using hir::ProgramBuilder;
+
+hir::Program
+buildOcean(int scale)
+{
+    const std::int64_t n = 24L * scale; // grid edge
+    const int steps = 4;
+
+    ProgramBuilder b;
+    b.param("N", n);
+    b.array("PSI", {"N", "N"});   // stream function
+    b.array("WRK", {"N", "N"});   // sweep buffer
+    b.array("VOR", {"N", "N"});   // vorticity (second prognostic field)
+    b.array("RES", {8});          // residual accumulator
+
+    b.proc("MAIN", [&] {
+        b.doserial("ii", 0, n - 1, [&] {
+            b.doserial("jj", 0, n - 1, [&] {
+                b.write("PSI", {b.v("ii"), b.v("jj")});
+                b.write("VOR", {b.v("ii"), b.v("jj")});
+            });
+        });
+
+        b.doserial("t", 0, steps - 1, [&] {
+            // Vorticity advection: Arakawa-style 5-point update driven
+            // by the stream function of the previous step.
+            b.doall("av", 1, n - 2, [&] {
+                b.doserial("aw", 1, n - 2, [&] {
+                    b.read("PSI", {b.v("av") - 1, b.v("aw")});
+                    b.read("PSI", {b.v("av") + 1, b.v("aw")});
+                    b.read("VOR", {b.v("av"), b.v("aw")});
+                    b.compute(5);
+                    b.write("VOR", {b.v("av"), b.v("aw")});
+                });
+            });
+            // Serial boundary conditions (processor-0 affinity case).
+            b.doserial("bc", 0, n - 1, [&] {
+                b.write("PSI", {b.v("bc"), b.c(0)});
+                b.write("PSI", {b.v("bc"), b.p("N") - 1});
+            });
+            // Relaxation sweep of the Poisson solve (vorticity source):
+            // rows in parallel.
+            b.doall("i", 1, n - 2, [&] {
+                b.doserial("j", 1, n - 2, [&] {
+                    b.read("PSI", {b.v("i") - 1, b.v("j")});
+                    b.read("PSI", {b.v("i") + 1, b.v("j")});
+                    b.read("PSI", {b.v("i"), b.v("j") - 1});
+                    b.read("PSI", {b.v("i"), b.v("j") + 1});
+                    b.read("VOR", {b.v("i"), b.v("j")});
+                    b.compute(6);
+                    b.write("WRK", {b.v("i"), b.v("j")});
+                });
+            });
+            // Copy back + residual reduction.
+            b.doall("i2", 1, n - 2, [&] {
+                b.doserial("j2", 1, n - 2, [&] {
+                    b.read("WRK", {b.v("i2"), b.v("j2")});
+                    b.write("PSI", {b.v("i2"), b.v("j2")});
+                });
+                b.critical([&] {
+                    b.read("RES", {b.c(0)});
+                    b.write("RES", {b.c(0)});
+                });
+            });
+            // Serial convergence check.
+            b.read("RES", {b.c(0)});
+        });
+    });
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace hscd

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * QCD2-like kernel: 4-D lattice gauge theory (quenched QCD).
+ *
+ * Structure modeled: checkerboard (even/odd) pseudo-fermion updates where
+ * each site gathers its neighbours in four directions from the opposite
+ * parity array, read-mostly gauge links refreshed occasionally by a
+ * serial heat-bath pass that touches data-dependent (compile-time-opaque)
+ * sites, and fine-grained word-adjacent writes that produce false sharing
+ * in line-grained directory protocols at 64-byte lines (the paper's QCD2
+ * anomaly).
+ */
+
+#include "hir/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace hscd {
+namespace workloads {
+
+using hir::ProgramBuilder;
+
+hir::Program
+buildQcd2(int scale)
+{
+    // 4-D lattice flattened: L^3 * T sites per parity.
+    const std::int64_t l = 4L * scale;
+    const std::int64_t sites = l * l * l * 2; // per parity
+    const std::int64_t lstride = l;           // x-neighbour stride
+    const int sweeps = 3;
+
+    ProgramBuilder b;
+    b.param("NS", sites);
+    b.array("PHIE", {"NS"});          // even-parity pseudofermion
+    b.array("PHIO", {"NS"});          // odd-parity pseudofermion
+    b.array("CHIE", {"NS"});          // second flavour, even parity
+    b.array("CHIO", {"NS"});          // second flavour, odd parity
+    b.array("U", {"NS", "4"});        // gauge links (read-mostly)
+    b.array("PLAQ", {8});             // plaquette accumulator
+
+    auto sweep = [&](const char *dst, const char *src,
+                     const std::string &var) {
+        b.doall(var, 1, sites - 2, [&] {
+            auto i = b.v(var);
+            // Gather neighbours in four directions from the other parity.
+            b.read(src, {i});
+            b.read(src, {i - 1});
+            b.read(src, {i + 1});
+            // Wrap-free strided neighbours (kept in range).
+            b.ifUnknown(hir::TakePolicy::Hash,
+                        [&] { b.read(src, {b.unknown()}); },
+                        [&] { b.read(src, {i}); });
+            b.doserial(var + "mu", 0, 3, [&] {
+                b.read("U", {i, b.v(var + "mu")});
+                b.compute(6);
+            });
+            b.write(dst, {i});
+        });
+    };
+
+    b.proc("MAIN", [&] {
+        b.doserial("init", 0, sites - 1, [&] {
+            b.write("PHIE", {b.v("init")});
+            b.write("PHIO", {b.v("init")});
+        });
+        b.doserial("iu", 0, sites - 1, [&] {
+            b.doserial("mu0", 0, 3, [&] {
+                b.write("U", {b.v("iu"), b.v("mu0")});
+            });
+        });
+
+        b.doserial("ic", 0, sites - 1, [&] {
+            b.write("CHIE", {b.v("ic")});
+            b.write("CHIO", {b.v("ic")});
+        });
+
+        b.doserial("s", 0, sweeps - 1, [&] {
+            sweep("PHIE", "PHIO", "e" );
+            sweep("PHIO", "PHIE", "o");
+            // Second flavour rides the same gauge field.
+            sweep("CHIE", "CHIO", "ce");
+            sweep("CHIO", "CHIE", "co");
+            // Occasional serial heat-bath link refresh at data-dependent
+            // sites - the compiler cannot bound these writes.
+            b.doserial("hb", 0, lstride - 1, [&] {
+                b.read("U", {b.unknown(), b.c(0)});
+                b.write("U", {b.unknown(), b.c(1)});
+            });
+            // Plaquette measurement under the lock.
+            b.doall("pm", 0, sites - 1, [&] {
+                b.read("PHIE", {b.v("pm")});
+                b.compute(2);
+                b.critical([&] {
+                    b.read("PLAQ", {b.c(0)});
+                    b.write("PLAQ", {b.c(0)});
+                });
+            });
+            b.read("PLAQ", {b.c(0)});
+        });
+    });
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace hscd

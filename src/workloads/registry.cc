@@ -1,0 +1,38 @@
+/** @file Benchmark registry. */
+
+#include "workloads/workloads.hh"
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace workloads {
+
+std::vector<std::string>
+benchmarkNames()
+{
+    return {"ADM", "FLO52", "OCEAN", "QCD2", "SPEC77", "TRFD"};
+}
+
+hir::Program
+buildBenchmark(const std::string &name, int scale)
+{
+    const std::string n = toLower(trim(name));
+    if (n == "adm")
+        return buildAdm(scale);
+    if (n == "flo52")
+        return buildFlo52(scale);
+    if (n == "ocean")
+        return buildOcean(scale);
+    if (n == "qcd2")
+        return buildQcd2(scale);
+    if (n == "spec77")
+        return buildSpec77(scale);
+    if (n == "trfd")
+        return buildTrfd(scale);
+    fatal("unknown benchmark '%s' (expected one of adm, flo52, ocean, "
+          "qcd2, spec77, trfd)", name);
+}
+
+} // namespace workloads
+} // namespace hscd

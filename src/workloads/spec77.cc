@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SPEC77-like kernel: spectral atmospheric model.
+ *
+ * Structure modeled: each timestep alternates (a) an inverse transform,
+ * DOALL over latitudes, where every task broadcast-reads the whole
+ * spectral coefficient vector (written in the previous phase) against a
+ * read-only Legendre table and produces its grid row; and (b) a forward
+ * transform, DOALL over wavenumbers, where every task gathers one column
+ * of the grid. Broadcast reads of freshly written data dominate, so the
+ * marking is Time-Read-heavy but the schedule is affine, which is where
+ * TPI's timetags pay off.
+ */
+
+#include "hir/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace hscd {
+namespace workloads {
+
+using hir::ProgramBuilder;
+
+hir::Program
+buildSpec77(int scale)
+{
+    const std::int64_t nlat = 16L * scale;   // latitudes
+    const std::int64_t nspec = 24L * scale;  // spectral coefficients
+    const int steps = 3;
+
+    ProgramBuilder b;
+    b.param("NLAT", nlat);
+    b.param("NSPEC", nspec);
+    b.array("SPEC", {"NSPEC"});          // vorticity coefficients
+    b.array("DIV", {"NSPEC"});           // divergence coefficients
+    b.array("GRID", {"NLAT", "NSPEC"});  // grid-point field
+    b.array("PLN", {"NSPEC", "NLAT"});   // Legendre table (read-only)
+    b.array("TEND", {"NSPEC"});          // tendencies
+    b.array("HLM", {"NSPEC"});           // Helmholtz workspace
+
+    b.proc("MAIN", [&] {
+        b.doserial("is", 0, nspec - 1, [&] {
+            b.write("SPEC", {b.v("is")});
+            b.write("DIV", {b.v("is")});
+        });
+
+        b.doserial("t", 0, steps - 1, [&] {
+            // Inverse transform: grid row per latitude.
+            b.doall("lat", 0, nlat - 1, [&] {
+                b.doserial("m", 0, nspec - 1, [&] {
+                    b.read("SPEC", {b.v("m")});       // broadcast read
+                    b.read("PLN", {b.v("m"), b.v("lat")});
+                    b.compute(3);
+                    b.write("GRID", {b.v("lat"), b.v("m")});
+                });
+            });
+            // Physics: local update of each grid row.
+            b.doall("lat2", 0, nlat - 1, [&] {
+                b.doserial("m2", 0, nspec - 1, [&] {
+                    b.read("GRID", {b.v("lat2"), b.v("m2")});
+                    b.compute(5);
+                    b.write("GRID", {b.v("lat2"), b.v("m2")});
+                });
+            });
+            // Forward transform: gather one column per wavenumber.
+            b.doall("m3", 0, nspec - 1, [&] {
+                b.doserial("lat3", 0, nlat - 1, [&] {
+                    b.read("GRID", {b.v("lat3"), b.v("m3")});
+                    b.read("PLN", {b.v("m3"), b.v("lat3")});
+                    b.compute(3);
+                });
+                b.write("TEND", {b.v("m3")});
+            });
+            // Semi-implicit Helmholtz solve: a forward/backward recursion
+            // over the coefficients on one processor (covered reads),
+            // then a parallel application to both spectral fields.
+            b.doserial("h", 1, nspec - 1, [&] {
+                b.read("TEND", {b.v("h")});
+                // Loop-carried recursion: serial-affinity keeps this an
+                // ordinary load (only this serial loop writes HLM).
+                b.read("HLM", {b.v("h") - 1});
+                b.compute(2);
+                b.write("HLM", {b.v("h")});
+            });
+            b.doall("m4", 0, nspec - 1, [&] {
+                b.read("TEND", {b.v("m4")});
+                b.read("HLM", {b.v("m4")});
+                b.read("SPEC", {b.v("m4")});
+                b.read("DIV", {b.v("m4")});
+                b.compute(4);
+                b.write("SPEC", {b.v("m4")});
+                b.write("DIV", {b.v("m4")});
+            });
+        });
+    });
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace hscd

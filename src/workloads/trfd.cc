@@ -1,0 +1,80 @@
+/**
+ * @file
+ * TRFD-like kernel: two-electron integral transformation.
+ *
+ * Structure modeled: the transformation is a pair of triangular
+ * matrix-product passes V = C^T * X * C. Each task accumulates into its
+ * output element across the whole contraction dimension, rewriting the
+ * same shared word O(N) times - the redundant write-through traffic the
+ * paper calls out for TRFD (eliminated by a cache-organized write
+ * buffer, cheap for the write-back directory). Triangular bounds make
+ * block schedules imbalanced, and adjacent tasks write adjacent words,
+ * which at 64-byte lines turns into directory false sharing.
+ */
+
+#include "hir/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace hscd {
+namespace workloads {
+
+using hir::ProgramBuilder;
+
+hir::Program
+buildTrfd(int scale)
+{
+    const std::int64_t norb = 12L * scale; // orbitals
+    const int passes = 2;
+
+    ProgramBuilder b;
+    b.param("M", norb);
+    b.array("X", {"M", "M"});   // integral block
+    b.array("C", {"M", "M"});   // MO coefficients (read-only after init)
+    b.array("V", {"M", "M"});   // transformed block
+
+    b.proc("MAIN", [&] {
+        b.doserial("i0", 0, norb - 1, [&] {
+            b.doserial("j0", 0, norb - 1, [&] {
+                b.write("X", {b.v("i0"), b.v("j0")});
+                b.write("C", {b.v("i0"), b.v("j0")});
+            });
+        });
+
+        b.doserial("p", 0, passes - 1, [&] {
+            // First half-transformation: triangular column loop; the
+            // output element is re-accumulated (rewritten) for every k.
+            b.doall("i", 0, norb - 1, [&] {
+                b.doserial("j", 0, b.v("i"), [&] {
+                    b.doserial("k", 0, norb - 1, [&] {
+                        b.read("X", {b.v("k"), b.v("j")});
+                        b.read("C", {b.v("k"), b.v("i")});
+                        b.compute(2);
+                        b.write("V", {b.v("j"), b.v("i")});
+                    });
+                });
+            });
+            // Symmetrize: copy the triangle across the diagonal.
+            b.doall("i2", 0, norb - 1, [&] {
+                b.doserial("j2", 0, b.v("i2"), [&] {
+                    b.read("V", {b.v("j2"), b.v("i2")});
+                    b.write("V", {b.v("i2"), b.v("j2")});
+                });
+            });
+            // Second half: X <- C^T * V (feeds the next pass).
+            b.doall("i3", 0, norb - 1, [&] {
+                b.doserial("j3", 0, norb - 1, [&] {
+                    b.doserial("k3", 0, norb - 1, [&] {
+                        b.read("V", {b.v("k3"), b.v("j3")});
+                        b.read("C", {b.v("k3"), b.v("i3")});
+                        b.compute(2);
+                        b.write("X", {b.v("j3"), b.v("i3")});
+                    });
+                });
+            });
+        });
+    });
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace hscd

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Soak harness: a larger randomized validation sweep than the unit
+ * suite runs — hundreds of random legal programs under randomized
+ * machine configurations, every read checked by the value-stamp oracle.
+ * Not registered with ctest (it takes tens of seconds); run it directly:
+ *
+ *   $ ./hscd_soak [rounds] [base-seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.hh"
+#include "common/strutil.hh"
+#include "program_gen.hh"
+#include "sim/machine.hh"
+
+using namespace hscd;
+using namespace hscd::sim;
+
+int
+main(int argc, char **argv)
+{
+    const int rounds = argc > 1 ? std::atoi(argv[1]) : 300;
+    const std::uint64_t base = argc > 2 ? std::strtoull(argv[2], nullptr, 0)
+                                        : 0xC0FFEE;
+    Rng rng(base);
+    Counter refs = 0;
+    int failures = 0;
+
+    for (int round = 0; round < rounds; ++round) {
+        testgen::GenOptions gen;
+        gen.seed = rng.next64();
+        gen.arraySize = 32 + std::int64_t(rng.below(97));
+        gen.phases = 3 + rng.below(4);
+        gen.useSync = rng.chance(0.5);
+
+        const bool migrate = rng.chance(0.25);
+        compiler::AnalysisOptions opts;
+        opts.assumeSerialAffinity = !migrate;
+        opts.symbolicParams = rng.chance(0.2);
+        compiler::CompiledProgram cp = compiler::compileProgram(
+            testgen::randomLegalProgram(gen), opts);
+
+        MachineConfig cfg;
+        const SchemeKind kinds[] = {SchemeKind::Base, SchemeKind::SC,
+                                    SchemeKind::VC, SchemeKind::TPI,
+                                    SchemeKind::TPI, SchemeKind::HW};
+        cfg.scheme = kinds[rng.below(6)];
+        cfg.procs = 1 + rng.below(12);
+        cfg.cacheBytes = std::uint64_t(512) << rng.below(6);
+        cfg.lineBytes = 4u << rng.below(4);
+        if (cfg.cacheBytes < cfg.lineBytes)
+            cfg.cacheBytes = cfg.lineBytes * 8;
+        cfg.assoc = 1u << rng.below(3);
+        cfg.timetagBits = 2 + rng.below(7);
+        cfg.sched = static_cast<SchedPolicy>(rng.below(3));
+        cfg.dynamicChunk = 1 + rng.below(8);
+        cfg.migrationRate = migrate ? 0.5 + 0.5 * rng.real() : 0.0;
+        cfg.migrationSeed = rng.next64();
+        cfg.writeBufferAsCache = rng.chance(0.3);
+        cfg.sequentialConsistency = rng.chance(0.2);
+        cfg.topology = rng.chance(0.3) ? Topology::Torus3D : Topology::MIN;
+        cfg.tpiPromoteOnHit = !rng.chance(0.1);
+        cfg.tpiUseDistance = !rng.chance(0.1);
+
+        RunResult r;
+        try {
+            r = simulate(cp, cfg);
+        } catch (const std::exception &e) {
+            std::cerr << "round " << round << " seed " << gen.seed
+                      << ": exception: " << e.what() << "\n";
+            ++failures;
+            continue;
+        }
+        refs += r.reads + r.writes;
+        if (r.oracleViolations != 0 || r.doallViolations != 0) {
+            std::cerr << csprintf(
+                "round %d FAILED: seed=%d scheme=%s procs=%d line=%d "
+                "tags=%d sched=%s mig=%.2f: %d stale, %d races\n", round,
+                gen.seed, schemeName(cfg.scheme), cfg.procs, cfg.lineBytes,
+                cfg.timetagBits, schedName(cfg.sched), cfg.migrationRate,
+                r.oracleViolations, r.doallViolations);
+            ++failures;
+        }
+    }
+
+    std::cout << csprintf(
+        "soak: %d rounds, %s simulated references, %d failures\n", rounds,
+        withCommas(refs), failures);
+    return failures == 0 ? 0 : 1;
+}

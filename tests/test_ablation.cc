@@ -1,0 +1,148 @@
+/** @file Tests for TPI mechanism ablations and executor metrics. */
+
+#include <gtest/gtest.h>
+
+#include "hir/builder.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace hscd;
+using namespace hscd::hir;
+using namespace hscd::sim;
+
+namespace {
+
+compiler::CompiledProgram &
+timeLoop()
+{
+    static compiler::CompiledProgram cp = [] {
+        ProgramBuilder b;
+        b.param("N", 128);
+        b.array("X", {"N"});
+        b.proc("MAIN", [&] {
+            b.doserial("t", 0, 9, [&] {
+                b.doall("i", 0, 127, [&] {
+                    b.read("X", {b.v("i")});
+                    b.write("X", {b.v("i")});
+                });
+            });
+        });
+        return compiler::compileProgram(b.build());
+    }();
+    return cp;
+}
+
+MachineConfig
+tpi(unsigned procs = 4)
+{
+    MachineConfig c;
+    c.scheme = SchemeKind::TPI;
+    c.procs = procs;
+    return c;
+}
+
+} // namespace
+
+TEST(Ablation, NoDistanceStaysCoherentButSlower)
+{
+    RunResult full = simulate(timeLoop(), tpi());
+    MachineConfig c = tpi();
+    c.tpiUseDistance = false;
+    RunResult nod = simulate(timeLoop(), c);
+    EXPECT_EQ(nod.oracleViolations, 0u);
+    EXPECT_GT(nod.readMisses, full.readMisses)
+        << "without the distance operand the d=2 reuse is lost";
+    EXPECT_GT(nod.cycles, full.cycles);
+}
+
+TEST(Ablation, NoPromotionStaysCoherent)
+{
+    MachineConfig c = tpi();
+    c.tpiPromoteOnHit = false;
+    RunResult r = simulate(timeLoop(), c);
+    EXPECT_EQ(r.oracleViolations, 0u);
+    RunResult full = simulate(timeLoop(), tpi());
+    EXPECT_LE(r.timeReadHits, full.timeReadHits)
+        << "promotion can only help";
+}
+
+TEST(Ablation, PromotionMattersForReadOnlyPhases)
+{
+    // X written once early, then Time-Read repeatedly at d matching only
+    // the first interval: promotion keeps the hits coming.
+    ProgramBuilder b;
+    b.param("N", 64);
+    b.array("X", {"N"});
+    b.array("Y", {"N"});
+    b.proc("MAIN", [&] {
+        b.doall("w", 0, 63, [&] { b.write("X", {b.v("w")}); });
+        b.doserial("t", 0, 7, [&] {
+            b.doall("i", 0, 63, [&] {
+                b.read("X", {b.v("i")});
+                b.write("Y", {b.v("i")});
+            });
+        });
+    });
+    compiler::CompiledProgram cp = compiler::compileProgram(b.build());
+    RunResult with = simulate(cp, tpi());
+    MachineConfig c = tpi();
+    c.tpiPromoteOnHit = false;
+    RunResult without = simulate(cp, c);
+    EXPECT_EQ(without.oracleViolations, 0u);
+    EXPECT_GT(with.timeReadHits, without.timeReadHits)
+        << "only promotion carries freshness forward beyond d epochs";
+    EXPECT_LT(with.cycles, without.cycles);
+}
+
+TEST(Ablation, FlagsDoNotAffectOtherSchemes)
+{
+    MachineConfig c;
+    c.scheme = SchemeKind::HW;
+    c.procs = 4;
+    RunResult base = simulate(timeLoop(), c);
+    c.tpiUseDistance = false;
+    c.tpiPromoteOnHit = false;
+    RunResult ablated = simulate(timeLoop(), c);
+    EXPECT_EQ(base.cycles, ablated.cycles);
+    EXPECT_EQ(base.readMisses, ablated.readMisses);
+}
+
+TEST(Metrics, BalancedDoallHasLowImbalance)
+{
+    RunResult r = simulate(timeLoop(), tpi());
+    EXPECT_GE(r.imbalance(), 1.0);
+    EXPECT_LT(r.imbalance(), 1.3);
+    EXPECT_GT(r.busyMax, 0u);
+    EXPECT_GT(r.busyAvg, 0.0);
+}
+
+TEST(Metrics, TriangularLoopUnbalancedUnderBlock)
+{
+    compiler::CompiledProgram cp =
+        compiler::compileProgram(workloads::buildTrfd(1));
+    MachineConfig block = tpi(8);
+    RunResult rb = simulate(cp, block);
+    MachineConfig cyc = tpi(8);
+    cyc.sched = SchedPolicy::Cyclic;
+    RunResult rc = simulate(cp, cyc);
+    EXPECT_GT(rb.imbalance(), rc.imbalance())
+        << "cyclic spreads the triangle across processors";
+}
+
+TEST(Metrics, SerialCyclesAccountedFor)
+{
+    // A serial-only program is all serial cycles.
+    ProgramBuilder b;
+    b.array("A", {32});
+    b.proc("MAIN", [&] {
+        b.doserial("k", 0, 31, [&] { b.write("A", {b.v("k")}); });
+    });
+    compiler::CompiledProgram cp = compiler::compileProgram(b.build());
+    RunResult r = simulate(cp, tpi());
+    EXPECT_EQ(r.serialCycles, r.cycles);
+    EXPECT_EQ(r.busyMax, 0u);
+
+    // The time loop is dominated by parallel work.
+    RunResult rp = simulate(timeLoop(), tpi());
+    EXPECT_LT(rp.serialCycles, rp.cycles);
+}

@@ -1,0 +1,62 @@
+/** @file Unit tests for bit utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+
+using namespace hscd;
+
+TEST(BitUtil, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(BitUtil, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtil, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(BitUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+}
+
+TEST(BitUtil, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}

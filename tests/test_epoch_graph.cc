@@ -1,0 +1,455 @@
+/** @file Unit tests for epoch partitioning and the epoch flow graph. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/epoch_graph.hh"
+#include "hir/builder.hh"
+
+using namespace hscd;
+using namespace hscd::hir;
+using namespace hscd::compiler;
+
+namespace {
+
+std::size_t
+countParallel(const EpochGraph &g)
+{
+    std::size_t n = 0;
+    for (const auto &node : g.nodes())
+        n += node.parallel;
+    return n;
+}
+
+const EpochNode &
+firstParallel(const EpochGraph &g)
+{
+    for (const auto &node : g.nodes())
+        if (node.parallel)
+            return node;
+    throw std::runtime_error("no parallel node");
+}
+
+} // namespace
+
+TEST(EpochGraph, StraightLineSingleDoall)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.write("A", {b.c(0)});
+        b.doall("i", 0, 15, [&] { b.read("A", {b.v("i")}); });
+        b.read("A", {b.c(1)});
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+
+    // serial-pre, DOALL, serial-post
+    ASSERT_EQ(g.nodes().size(), 3u);
+    EXPECT_FALSE(g.nodes()[0].parallel);
+    EXPECT_TRUE(g.nodes()[1].parallel);
+    EXPECT_FALSE(g.nodes()[2].parallel);
+    EXPECT_EQ(g.nodes()[1].parallelVar, "i");
+    EXPECT_EQ(g.nodes()[0].refs.size(), 1u);
+    EXPECT_EQ(g.nodes()[1].refs.size(), 1u);
+    EXPECT_EQ(g.nodes()[2].refs.size(), 1u);
+
+    EXPECT_EQ(g.distance(0, 1), 1u);
+    EXPECT_EQ(g.distance(1, 2), 1u);
+    EXPECT_EQ(g.distance(0, 2), 2u);
+    EXPECT_EQ(g.distance(2, 0), unreachableDist);
+    EXPECT_EQ(g.cycleDistance(1), unreachableDist);
+}
+
+TEST(EpochGraph, TimeLoopCreatesCycle)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.doserial("t", 0, 9, [&] {
+            b.doall("i", 0, 15, [&] {
+                b.read("A", {b.v("i")});
+                b.write("A", {b.v("i")});
+            });
+        });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+
+    ASSERT_EQ(countParallel(g), 1u);
+    const EpochNode &par = firstParallel(g);
+    // Consecutive DOALL instances are separated by exit+entry boundaries.
+    EXPECT_EQ(g.cycleDistance(par.id), 2u);
+}
+
+TEST(EpochGraph, BarrierSplitsSerialCode)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{4}});
+    b.proc("MAIN", [&] {
+        b.write("A", {b.c(0)});
+        b.barrier();
+        b.read("A", {b.c(0)});
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    ASSERT_EQ(g.nodes().size(), 2u);
+    EXPECT_EQ(g.distance(0, 1), 1u);
+}
+
+TEST(EpochGraph, SerialLoopWithoutBoundaryStaysInEpoch)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.doserial("k", 0, 15, [&] { b.write("A", {b.v("k")}); });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    ASSERT_EQ(g.nodes().size(), 1u);
+    EXPECT_EQ(g.nodes()[0].refs.size(), 1u);
+    // Section spans the whole loop range.
+    const RegularSection &s = g.nodes()[0].refs[0].section;
+    EXPECT_EQ(s.dims()[0].lo, 0);
+    EXPECT_EQ(s.dims()[0].hi, 15);
+}
+
+TEST(EpochGraph, ZeroTripLoopGetsBypassEdge)
+{
+    ProgramBuilder b;
+    b.param("N", 0);
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.write("A", {b.c(0)});
+        // hi = N-1 = -1 < lo: provably zero-trip is not required, only
+        // "not provably >= 1 trip" - the bypass edge must exist.
+        b.doserial("t", 0, b.p("N") - 1, [&] {
+            b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+        });
+        b.read("A", {b.c(0)});
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    // pre(0) and post node must be connected with weight 0.
+    NodeId post = invalidNode;
+    for (const EpochNode &n : g.nodes())
+        if (!n.refs.empty() && !n.refs[0].stmt->isWrite)
+            post = n.id;
+    ASSERT_NE(post, invalidNode);
+    EXPECT_EQ(g.distance(0, post), 0u);
+}
+
+TEST(EpochGraph, DefiniteTripLoopHasNoBypass)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.write("A", {b.c(0)});
+        b.doserial("t", 0, 3, [&] {
+            b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+        });
+        b.read("A", {b.c(0)});
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    NodeId post = invalidNode;
+    for (const EpochNode &n : g.nodes())
+        if (!n.refs.empty() && !n.refs[0].stmt->isWrite)
+            post = n.id;
+    ASSERT_NE(post, invalidNode);
+    // Must pass through the DOALL: 2 boundaries.
+    EXPECT_EQ(g.distance(0, post), 2u);
+}
+
+TEST(EpochGraph, CallInlining)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.call("INIT");
+        b.doall("i", 0, 15, [&] { b.read("A", {b.v("i")}); });
+    });
+    b.proc("INIT", [&] {
+        b.doserial("k", 0, 15, [&] { b.write("A", {b.v("k")}); });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    // INIT's write lands in the entry serial node.
+    EXPECT_EQ(g.nodes()[0].refs.size(), 1u);
+    EXPECT_TRUE(g.nodes()[0].refs[0].stmt->isWrite);
+    EXPECT_EQ(countParallel(g), 1u);
+}
+
+TEST(EpochGraph, CallWithBoundaryCreatesEpochs)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.write("A", {b.c(0)});
+        b.call("PHASE");
+        b.read("A", {b.c(0)});
+    });
+    b.proc("PHASE", [&] {
+        b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    EXPECT_EQ(countParallel(g), 1u);
+    EXPECT_EQ(g.nodes().size(), 3u);
+}
+
+TEST(EpochGraph, SharedProcCalledTwiceOccursTwice)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.call("STEP");
+        b.call("STEP");
+    });
+    b.proc("STEP", [&] {
+        b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    EXPECT_EQ(countParallel(g), 2u);
+    // Same RefId occurs in both parallel nodes.
+    RefId seen = invalidRef;
+    int occurrences = 0;
+    for (const EpochNode &n : g.nodes()) {
+        for (const RefOccur &o : n.refs) {
+            seen = o.ref;
+            ++occurrences;
+        }
+    }
+    EXPECT_EQ(occurrences, 2);
+    EXPECT_EQ(seen, 0u);
+}
+
+TEST(EpochGraph, IfWithBoundaryBranches)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.write("A", {b.c(0)});
+        b.ifUnknown(TakePolicy::Alternate, [&] {
+            b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+        });
+        b.read("A", {b.c(0)});
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    NodeId post = invalidNode;
+    for (const EpochNode &n : g.nodes())
+        if (!n.refs.empty() && !n.refs[0].stmt->isWrite)
+            post = n.id;
+    ASSERT_NE(post, invalidNode);
+    // else-path has no boundary: distance 0 pre -> post.
+    EXPECT_EQ(g.distance(0, post), 0u);
+    // Parallel write reaches post in 1 boundary.
+    EXPECT_EQ(g.distance(firstParallel(g).id, post), 1u);
+}
+
+TEST(EpochGraph, DoallRefsCarryParallelContext)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{64}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.doserial("k", 0, 3, [&] {
+                b.write("A", {b.v("i") * 4 + b.v("k")});
+            });
+        });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    const EpochNode &par = firstParallel(g);
+    ASSERT_EQ(par.refs.size(), 1u);
+    const RefOccur &occ = par.refs[0];
+    ASSERT_EQ(occ.loops.size(), 2u);
+    EXPECT_TRUE(occ.loops[0].parallel);
+    EXPECT_EQ(occ.loops[1].var, "k");
+    // Section covers 0..63.
+    EXPECT_EQ(occ.section.dims()[0].lo, 0);
+    EXPECT_EQ(occ.section.dims()[0].hi, 63);
+}
+
+TEST(EpochGraph, StridedSectionFromCoefficient)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{64}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] { b.write("A", {b.v("i") * 2}); });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    const RegularSection &s = firstParallel(g).refs[0].section;
+    EXPECT_EQ(s.dims()[0].stride, 2);
+    EXPECT_EQ(s.dims()[0].lo, 0);
+    EXPECT_EQ(s.dims()[0].hi, 30);
+}
+
+TEST(EpochGraph, UnknownSubscriptWidensToWholeDim)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{64}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] { b.write("A", {b.unknown()}); });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    const RegularSection &s = firstParallel(g).refs[0].section;
+    EXPECT_EQ(s.dims()[0].lo, 0);
+    EXPECT_EQ(s.dims()[0].hi, 63);
+    EXPECT_EQ(s.dims()[0].stride, 1);
+}
+
+TEST(EpochGraph, CoverageWithinTask)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.write("A", {b.v("i")});
+            b.read("A", {b.v("i")});   // covered
+            b.read("A", {b.v("i") + 1}); // not covered (different word)
+        });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    const EpochNode &par = firstParallel(g);
+    ASSERT_EQ(par.refs.size(), 3u);
+    EXPECT_TRUE(par.refs[1].covered);
+    EXPECT_FALSE(par.refs[2].covered);
+}
+
+TEST(EpochGraph, CoverageNotAcrossConditional)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.ifUnknown(TakePolicy::Alternate,
+                        [&] { b.write("A", {b.v("i")}); });
+            b.read("A", {b.v("i")}); // conditional write doesn't dominate
+        });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    const EpochNode &par = firstParallel(g);
+    for (const RefOccur &o : par.refs) {
+        if (!o.stmt->isWrite) {
+            EXPECT_FALSE(o.covered);
+        }
+    }
+}
+
+TEST(EpochGraph, CoverageSurvivesBothBranches)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.ifUnknown(TakePolicy::Alternate,
+                        [&] { b.write("A", {b.v("i")}); },
+                        [&] { b.write("A", {b.v("i")}); });
+            b.read("A", {b.v("i")}); // written on every path
+        });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    const EpochNode &par = firstParallel(g);
+    bool found_read = false;
+    for (const RefOccur &o : par.refs) {
+        if (!o.stmt->isWrite) {
+            EXPECT_TRUE(o.covered);
+            found_read = true;
+        }
+    }
+    EXPECT_TRUE(found_read);
+}
+
+TEST(EpochGraph, CoverageLoopVarFiltering)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.array("B", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.doserial("k", 0, 3, [&] {
+                b.write("A", {b.v("k")});
+                b.write("B", {b.v("i")});
+            });
+            b.read("A", {b.c(0)});   // A(k) coverage dropped at loop exit
+            b.read("B", {b.v("i")}); // loop-invariant write survives
+        });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    const EpochNode &par = firstParallel(g);
+    for (const RefOccur &o : par.refs) {
+        if (o.stmt->isWrite)
+            continue;
+        if (p.array(o.stmt->array).name == "A")
+            EXPECT_FALSE(o.covered);
+        else
+            EXPECT_TRUE(o.covered);
+    }
+}
+
+TEST(EpochGraph, CriticalCoverageRules)
+{
+    ProgramBuilder b;
+    b.array("S", {std::int64_t{4}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.critical([&] {
+                b.read("S", {b.c(0)});  // not covered: other lock owners
+                b.write("S", {b.c(0)});
+                b.read("S", {b.c(0)});  // covered by write in same block
+            });
+        });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    const EpochNode &par = firstParallel(g);
+    ASSERT_EQ(par.refs.size(), 3u);
+    EXPECT_FALSE(par.refs[0].covered);
+    EXPECT_TRUE(par.refs[0].inCritical);
+    EXPECT_TRUE(par.refs[2].covered);
+}
+
+TEST(EpochGraph, CriticalWriteKillsOutsideCoverage)
+{
+    ProgramBuilder b;
+    b.array("S", {std::int64_t{4}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.write("S", {b.c(0)});
+            b.critical([&] { b.write("S", {b.c(0)}); });
+            // Own write precedes, but another task's critical write may
+            // intervene: coverage must be cancelled.
+            b.read("S", {b.c(0)});
+        });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    const EpochNode &par = firstParallel(g);
+    for (const RefOccur &o : par.refs) {
+        if (!o.stmt->isWrite) {
+            EXPECT_FALSE(o.covered);
+        }
+    }
+}
+
+TEST(EpochGraph, StrDumpHasNodes)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{4}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 3, [&] { b.write("A", {b.v("i")}); });
+    });
+    Program p = b.build();
+    EpochGraph g = EpochGraph::build(p);
+    const std::string s = g.str();
+    EXPECT_NE(s.find("E1(DOALL i)"), std::string::npos);
+    EXPECT_NE(s.find("->E1(w1)"), std::string::npos);
+}

@@ -1,0 +1,197 @@
+/** @file Unit tests for affine integer expressions. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "hir/expr.hh"
+
+using namespace hscd;
+using namespace hscd::hir;
+
+TEST(Env, BindLookupUnbind)
+{
+    Env e;
+    EXPECT_FALSE(e.lookup("i").has_value());
+    e.bind("i", 3);
+    EXPECT_EQ(*e.lookup("i"), 3);
+    e.bind("i", 5);
+    EXPECT_EQ(*e.lookup("i"), 5);
+    e.unbind("i");
+    EXPECT_FALSE(e.lookup("i").has_value());
+}
+
+TEST(Env, HashOrderInsensitive)
+{
+    Env a, b;
+    a.bind("i", 1);
+    a.bind("j", 2);
+    b.bind("j", 2);
+    b.bind("i", 1);
+    EXPECT_EQ(a.mixHash(7), b.mixHash(7));
+    b.bind("k", 3);
+    EXPECT_NE(a.mixHash(7), b.mixHash(7));
+}
+
+TEST(IntExpr, ConstantBasics)
+{
+    IntExpr e = IntExpr::constant(5);
+    EXPECT_TRUE(e.isConstant());
+    EXPECT_EQ(e.constantValue(), 5);
+    Env env;
+    EXPECT_EQ(e.eval(env), 5);
+}
+
+TEST(IntExpr, AffineArithmetic)
+{
+    IntExpr i = IntExpr::var("i");
+    IntExpr j = IntExpr::var("j");
+    IntExpr e = i * 2 + j - 1;
+    EXPECT_EQ(e.coeff("i"), 2);
+    EXPECT_EQ(e.coeff("j"), 1);
+    EXPECT_EQ(e.coeff("k"), 0);
+    Env env;
+    env.bind("i", 10);
+    env.bind("j", 3);
+    EXPECT_EQ(e.eval(env), 22);
+}
+
+TEST(IntExpr, TermsCancel)
+{
+    IntExpr i = IntExpr::var("i");
+    IntExpr e = (i * 3) - (i * 3) + 7;
+    EXPECT_TRUE(e.isConstant());
+    EXPECT_EQ(e.constantValue(), 7);
+}
+
+TEST(IntExpr, ExprPlusExpr)
+{
+    IntExpr e = IntExpr::var("i") + IntExpr::var("j") + IntExpr::var("i");
+    EXPECT_EQ(e.coeff("i"), 2);
+    EXPECT_EQ(e.coeff("j"), 1);
+}
+
+TEST(IntExpr, Equality)
+{
+    IntExpr a = IntExpr::var("i") + 1;
+    IntExpr b = IntExpr::var("i") + 1;
+    IntExpr c = IntExpr::var("i") + 2;
+    IntExpr d = IntExpr::var("j") + 1;
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+    EXPECT_FALSE(a == d);
+}
+
+TEST(IntExpr, ConstantDifference)
+{
+    IntExpr a = IntExpr::var("i") + 4;
+    IntExpr b = IntExpr::var("i") + 1;
+    auto d = a.constantDifference(b);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, 3);
+
+    IntExpr c = IntExpr::var("j") + 1;
+    EXPECT_FALSE(a.constantDifference(c).has_value());
+
+    IntExpr u = IntExpr::unknown(0) + 1;
+    EXPECT_FALSE(u.constantDifference(b).has_value());
+    EXPECT_FALSE(b.constantDifference(u).has_value());
+}
+
+TEST(IntExpr, UnknownEvaluatesDeterministically)
+{
+    IntExpr u = IntExpr::unknown(3);
+    Env env;
+    env.bind("i", 4);
+    std::int64_t v1 = u.eval(env, 100);
+    std::int64_t v2 = u.eval(env, 100);
+    EXPECT_EQ(v1, v2);
+    EXPECT_GE(v1, 0);
+    EXPECT_LT(v1, 100);
+    env.bind("i", 5);
+    // Very likely different; at minimum still in range.
+    std::int64_t v3 = u.eval(env, 100);
+    EXPECT_GE(v3, 0);
+    EXPECT_LT(v3, 100);
+}
+
+TEST(IntExpr, UnknownsWithDifferentIdsDiffer)
+{
+    Env env;
+    env.bind("i", 1);
+    int same = 0;
+    for (std::uint32_t id = 0; id < 16; id += 2) {
+        if (IntExpr::unknown(id).eval(env, 1 << 20) ==
+            IntExpr::unknown(id + 1).eval(env, 1 << 20))
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(IntExpr, HasUnknownPropagates)
+{
+    IntExpr u = IntExpr::unknown(1) + IntExpr::var("i");
+    EXPECT_TRUE(u.hasUnknown());
+    EXPECT_FALSE((IntExpr::var("i") + 3).hasUnknown());
+}
+
+TEST(IntExpr, RangeAnalysis)
+{
+    IntExpr e = IntExpr::var("i") * 2 - IntExpr::var("j") + 5;
+    std::map<std::string, Range> ranges{
+        {"i", {0, 10}},
+        {"j", {1, 3}},
+    };
+    auto r = e.range(ranges);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->lo, 0 * 2 - 3 + 5);
+    EXPECT_EQ(r->hi, 10 * 2 - 1 + 5);
+}
+
+TEST(IntExpr, RangeUnboundVarFails)
+{
+    IntExpr e = IntExpr::var("i");
+    std::map<std::string, Range> ranges;
+    EXPECT_FALSE(e.range(ranges).has_value());
+}
+
+TEST(IntExpr, RangeUnknownFails)
+{
+    std::map<std::string, Range> ranges{{"i", {0, 4}}};
+    EXPECT_FALSE(IntExpr::unknown(0).range(ranges).has_value());
+}
+
+TEST(IntExpr, Substitute)
+{
+    IntExpr e = IntExpr::var("i") * 3 + IntExpr::var("N") + 1;
+    IntExpr s = e.substitute("N", 64);
+    EXPECT_EQ(s.coeff("N"), 0);
+    Env env;
+    env.bind("i", 2);
+    EXPECT_EQ(s.eval(env), 3 * 2 + 64 + 1);
+}
+
+TEST(IntExpr, EvalUnboundPanics)
+{
+    IntExpr e = IntExpr::var("i");
+    Env env;
+    EXPECT_THROW(e.eval(env), PanicError);
+}
+
+TEST(IntExpr, StrRendering)
+{
+    EXPECT_EQ(IntExpr::constant(0).str(), "0");
+    EXPECT_EQ(IntExpr::constant(-4).str(), "-4");
+    EXPECT_EQ((IntExpr::var("i") * 2 + 1).str(), "2*i + 1");
+    EXPECT_EQ((IntExpr::var("i") - 1).str(), "i - 1");
+    EXPECT_EQ((IntExpr::constant(0) - IntExpr::var("i")).str(), "-i");
+}
+
+TEST(IntExpr, MulByZeroAndNegative)
+{
+    IntExpr e = (IntExpr::var("i") + 3) * 0;
+    EXPECT_TRUE(e.isConstant());
+    EXPECT_EQ(e.constantValue(), 0);
+    IntExpr n = (IntExpr::var("i") + 3) * -2;
+    EXPECT_EQ(n.coeff("i"), -2);
+    EXPECT_EQ(n.constantValue(), -6);
+}

@@ -1,0 +1,409 @@
+/** @file Unit tests for stale-reference detection / Time-Read marking. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/analysis.hh"
+#include "hir/builder.hh"
+
+using namespace hscd;
+using namespace hscd::hir;
+using namespace hscd::compiler;
+
+namespace {
+
+Marking
+analyze(Program &p, const AnalysisOptions &opts = {})
+{
+    EpochGraph g = EpochGraph::build(p);
+    return Marking::run(p, g, opts);
+}
+
+} // namespace
+
+TEST(Marking, ReadOnlyDataIsNormal)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.array("B", {std::int64_t{16}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            r = b.read("B", {b.v("i")});
+            b.write("A", {b.v("i")});
+        });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::Normal);
+    EXPECT_EQ(m.mark(r).reason, MarkReason::ReadOnly);
+}
+
+TEST(Marking, SerialInitThenParallelReadIsTimeRead1)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doserial("k", 0, 15, [&] { b.write("A", {b.v("k")}); });
+        b.doall("i", 0, 15, [&] { r = b.read("A", {b.v("i")}); });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::TimeRead);
+    EXPECT_EQ(m.mark(r).distance, 1u);
+    EXPECT_EQ(m.mark(r).reason, MarkReason::Stale);
+}
+
+TEST(Marking, ParallelWriteThenSerialReadIsTimeRead1)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+        r = b.read("A", {b.c(3)});
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::TimeRead);
+    EXPECT_EQ(m.mark(r).distance, 1u);
+}
+
+TEST(Marking, TimeLoopReadModifyWriteGetsCycleDistance)
+{
+    // The paper's flagship pattern: DOALL inside a serial time loop; the
+    // task re-reads what some task wrote in the previous instance (2
+    // boundaries back). Hardware timetags can preserve locality when the
+    // scheduler is affine; the compiler must mark d=2.
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doserial("t", 0, 9, [&] {
+            b.doall("i", 0, 15, [&] {
+                r = b.read("A", {b.v("i")});
+                b.write("A", {b.v("i")});
+            });
+        });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::TimeRead);
+    EXPECT_EQ(m.mark(r).distance, 2u);
+}
+
+TEST(Marking, CoveredReadIsNormal)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doserial("t", 0, 9, [&] {
+            b.doall("i", 0, 15, [&] {
+                b.write("A", {b.v("i")});
+                r = b.read("A", {b.v("i")});
+            });
+        });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::Normal);
+    EXPECT_EQ(m.mark(r).reason, MarkReason::Covered);
+}
+
+TEST(Marking, SerialAffinitySuppressesSerialThreats)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.array("B", {std::int64_t{16}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.write("A", {b.c(0)});
+        b.doall("i", 0, 15, [&] { b.write("B", {b.v("i")}); });
+        r = b.read("A", {b.c(0)});
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::Normal);
+    EXPECT_EQ(m.mark(r).reason, MarkReason::SerialAffinity);
+}
+
+TEST(Marking, SerialAffinityOffMakesItStale)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.write("A", {b.c(0)});
+        b.doall("i", 0, 15, [&] { b.compute(1); });
+        r = b.read("A", {b.c(0)});
+    });
+    Program p = b.build();
+    AnalysisOptions opts;
+    opts.assumeSerialAffinity = false;
+    Marking m = analyze(p, opts);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::TimeRead);
+    EXPECT_EQ(m.mark(r).distance, 2u);
+}
+
+TEST(Marking, DisjointSectionsNoThreat)
+{
+    // Writers touch the lower half, readers the upper half.
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{32}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+        b.doall("j", 0, 15, [&] { r = b.read("A", {b.v("j") + 16}); });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::Normal);
+    EXPECT_EQ(m.mark(r).reason, MarkReason::ReadOnly);
+}
+
+TEST(Marking, StridedDisjointSectionsNoThreat)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{64}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 31, [&] { b.write("A", {b.v("i") * 2}); });
+        b.doall("j", 0, 30, [&] {
+            r = b.read("A", {b.v("j") * 2 + 1});
+        });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::Normal);
+}
+
+TEST(Marking, UnknownSubscriptForcesTimeRead)
+{
+    // The paper's X(f(i)) case.
+    ProgramBuilder b;
+    b.array("X", {std::int64_t{64}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] { b.write("X", {b.v("i")}); });
+        b.doall("j", 0, 15, [&] { r = b.read("X", {b.unknown()}); });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::TimeRead);
+    // DOALL exit + DOALL entry, with the (empty) serial epoch between.
+    EXPECT_EQ(m.mark(r).distance, 2u);
+}
+
+TEST(Marking, SameEpochFalseSharingStyleConflict)
+{
+    // Same DOALL: task i writes A(i), task i reads A(i+1) - the compiler
+    // must flag the read (it touches another task's element).
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{32}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            r = b.read("A", {b.v("i") + 1});
+            b.write("A", {b.v("i")});
+        });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    // read A(i+1) vs write A(i): delta = 1, coeff 1 -> same-instance
+    // cross-task conflict -> d = 0.
+    EXPECT_EQ(m.mark(r).kind, MarkKind::TimeRead);
+    EXPECT_EQ(m.mark(r).distance, 0u);
+    EXPECT_EQ(m.mark(r).reason, MarkReason::SameEpoch);
+}
+
+TEST(Marking, SameTaskDifferentDimIsNotConflict)
+{
+    // Write A(i,k), read A(i,k-1): dim 0 pins both refs to the same task.
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}, std::int64_t{8}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.doserial("k", 1, 7, [&] {
+                r = b.read("A", {b.v("i"), b.v("k") - 1});
+                b.write("A", {b.v("i"), b.v("k")});
+            });
+        });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    // No cross-task same-instance conflict and no cycle: normal.
+    EXPECT_EQ(m.mark(r).kind, MarkKind::Normal);
+}
+
+TEST(Marking, CriticalReadsBypass)
+{
+    ProgramBuilder b;
+    b.array("S", {std::int64_t{4}});
+    RefId r0 = invalidRef, r1 = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.critical([&] {
+                r0 = b.read("S", {b.c(0)});
+                b.write("S", {b.c(0)});
+                r1 = b.read("S", {b.c(0)});
+            });
+        });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r0).kind, MarkKind::Bypass);
+    EXPECT_EQ(m.mark(r0).reason, MarkReason::Critical);
+    EXPECT_EQ(m.mark(r1).kind, MarkKind::Normal);
+    EXPECT_EQ(m.mark(r1).reason, MarkReason::Covered);
+}
+
+TEST(Marking, NonCriticalReadOfLockedDataBypasses)
+{
+    ProgramBuilder b;
+    b.array("S", {std::int64_t{4}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.critical([&] { b.write("S", {b.c(0)}); });
+            r = b.read("S", {b.c(0)});
+        });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::Bypass);
+}
+
+TEST(Marking, JoinAcrossCallSitesIsConservative)
+{
+    // STEP's read is safe from the first call site (nothing written yet)
+    // but stale from the second (after the DOALL wrote A): the single
+    // static mark must be the conservative join.
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.call("STEP");
+        b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+        b.call("STEP");
+    });
+    b.proc("STEP", [&] {
+        b.doall("j", 0, 15, [&] { r = b.read("A", {b.v("j")}); });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::TimeRead);
+    EXPECT_EQ(m.mark(r).distance, 2u);
+}
+
+TEST(Marking, BranchShortensDistance)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+        b.ifUnknown(TakePolicy::Alternate, [&] {
+            b.doall("j", 0, 15, [&] { b.compute(1); });
+        });
+        b.doall("k", 0, 15, [&] { r = b.read("A", {b.v("k")}); });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    // Shortest path skips the middle DOALL: d = 2 instead of 4.
+    EXPECT_EQ(m.mark(r).kind, MarkKind::TimeRead);
+    EXPECT_EQ(m.mark(r).distance, 2u);
+}
+
+TEST(Marking, WritesKeepWriteMark)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    RefId w = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] { w = b.write("A", {b.v("i")}); });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    EXPECT_EQ(m.mark(w).reason, MarkReason::WriteRef);
+}
+
+TEST(Marking, MaxDistanceCap)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+        for (int k = 0; k < 10; ++k)
+            b.barrier();
+        r = b.read("A", {b.c(0)});
+    });
+    Program p = b.build();
+    AnalysisOptions opts;
+    opts.maxDistance = 4;
+    Marking m = analyze(p, opts);
+    EXPECT_EQ(m.mark(r).kind, MarkKind::TimeRead);
+    EXPECT_EQ(m.mark(r).distance, 4u);
+}
+
+TEST(Marking, StatsAccounting)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.array("B", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.doserial("k", 0, 15, [&] { b.write("A", {b.v("k")}); });
+        b.doall("i", 0, 15, [&] {
+            b.read("A", {b.v("i")});   // time-read
+            b.read("B", {b.v("i")});   // read-only
+            b.write("A", {b.v("i")});
+        });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    const MarkingStats &st = m.stats();
+    EXPECT_EQ(st.reads, 2u);
+    EXPECT_EQ(st.writes, 2u);
+    EXPECT_EQ(st.timeRead, 1u);
+    EXPECT_EQ(st.readOnly, 1u);
+    EXPECT_EQ(st.distanceHist[1], 1u);
+}
+
+TEST(Marking, DescribeListsEveryRef)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.doall("i", 0, 15, [&] {
+            b.read("A", {b.v("i")});
+            b.write("A", {b.v("i")});
+        });
+    });
+    Program p = b.build();
+    Marking m = analyze(p);
+    const std::string d = m.describe(p);
+    EXPECT_NE(d.find("ref 0"), std::string::npos);
+    EXPECT_NE(d.find("ref 1"), std::string::npos);
+    EXPECT_NE(d.find("A(i)"), std::string::npos);
+}
+
+TEST(Marking, CompileProgramBundlesEverything)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.call("STEP");
+    });
+    b.proc("STEP", [&] {
+        b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+    });
+    CompiledProgram cp = compileProgram(b.build());
+    EXPECT_EQ(cp.program.refCount(), 1u);
+    EXPECT_GE(cp.graph.nodes().size(), 3u);
+    EXPECT_EQ(cp.summaries.size(), 2u);
+    EXPECT_TRUE(cp.summaries[cp.program.findProcedure("STEP")].hasBoundary);
+    EXPECT_FALSE(
+        cp.summaries[cp.program.findProcedure("STEP")].mod.empty());
+}

@@ -1,0 +1,98 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+using namespace hscd;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next32() == b.next32())
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.below(10);
+        EXPECT_LT(v, 10u);
+    }
+}
+
+TEST(Rng, BelowZeroOrOneBound)
+{
+    Rng r(7);
+    EXPECT_EQ(r.below(0), 0u);
+    EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u) << "all values in [-2,2] should appear";
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 5000; ++i) {
+        double v = r.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 5000, 0.5, 0.03);
+}
+
+TEST(Rng, BelowRoughlyUniform)
+{
+    Rng r(13);
+    int counts[8] = {0};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.below(8)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, StreamsIndependent)
+{
+    Rng a(5, 1), b(5, 2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next32() == b.next32())
+            ++same;
+    EXPECT_LT(same, 4);
+}

@@ -1,0 +1,284 @@
+/** @file Additional scheme-level edge-case and regression tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/base_scheme.hh"
+#include "mem/coherence.hh"
+#include "mem/directory_scheme.hh"
+#include "mem/sc_scheme.hh"
+#include "mem/tpi_scheme.hh"
+
+using namespace hscd;
+using namespace hscd::mem;
+using compiler::MarkKind;
+
+namespace {
+
+struct Rig
+{
+    explicit Rig(MachineConfig c = {})
+        : cfg(std::move(c)), root("m"), memory(1 << 20),
+          network(&root, cfg.procs, cfg.networkRadix, cfg.maxNetworkLoad),
+          scheme(makeScheme(cfg, memory, network, &root))
+    {
+    }
+
+    AccessResult
+    read(ProcId p, Addr a, MarkKind mark = MarkKind::Normal,
+         std::uint32_t d = 0)
+    {
+        MemOp op;
+        op.proc = p;
+        op.addr = a;
+        op.mark = mark;
+        op.distance = d;
+        op.now = ++now;
+        return scheme->access(op);
+    }
+
+    AccessResult
+    write(ProcId p, Addr a, bool critical = false)
+    {
+        MemOp op;
+        op.proc = p;
+        op.addr = a;
+        op.write = true;
+        op.stamp = ++stamp;
+        op.critical = critical;
+        op.now = ++now;
+        return scheme->access(op);
+    }
+
+    Cycles boundary() { return scheme->epochBoundary(++epoch); }
+
+    MachineConfig cfg;
+    stats::StatGroup root;
+    MainMemory memory;
+    net::Network network;
+    std::unique_ptr<CoherenceScheme> scheme;
+    Cycles now = 0;
+    ValueStamp stamp = 0;
+    EpochId epoch = 0;
+};
+
+MachineConfig
+withScheme(SchemeKind k)
+{
+    MachineConfig c;
+    c.scheme = k;
+    return c;
+}
+
+} // namespace
+
+// Regression: the epoch-0 boot condition found by the fuzzer. A word
+// side-filled in epoch 0 has no representable "EC - 1" timetag and must
+// come up invalid, or a later exact-distance Time-Read hits stale data.
+TEST(TpiEpochZero, SideFillInEpochZeroCannotServeTimeRead)
+{
+    Rig rig(withScheme(SchemeKind::TPI));
+    // Epoch 0: P1 fills the line via word 0; word 1 is side-filled.
+    rig.read(1, 0x100);
+    // Epoch 0: P0 (the word's epoch owner) writes word 1 afterwards.
+    rig.write(0, 0x104);
+    rig.boundary(); // epoch 1
+    // Exact marking: last write was in epoch 0, one boundary back.
+    auto r = rig.read(1, 0x104, MarkKind::TimeRead, 1);
+    EXPECT_EQ(r.observed, 1u) << "P1 must see P0's write, not the stale "
+                                 "side-filled copy from the fill race";
+}
+
+TEST(TpiEpochZero, CriticalWriteInEpochZeroNotVouched)
+{
+    Rig rig(withScheme(SchemeKind::TPI));
+    rig.write(0, 0x100, true);  // lock-ordered write, epoch 0
+    rig.write(1, 0x100, true);  // second lock owner, same epoch
+    rig.boundary();
+    auto r = rig.read(0, 0x100, MarkKind::TimeRead, 1);
+    EXPECT_EQ(r.observed, 2u) << "P0's copy predates P1's lock-ordered "
+                                 "write and must not hit";
+}
+
+TEST(TpiCritical, CriticalWriteVouchedOnlyToPreviousEpoch)
+{
+    Rig rig(withScheme(SchemeKind::TPI));
+    rig.boundary(); // epoch 1
+    rig.write(0, 0x100, true);
+    // Same epoch, d=0: must miss (tt == EC-1 < EC).
+    EXPECT_FALSE(rig.read(0, 0x100, MarkKind::TimeRead, 0).hit);
+    // d=1 may hit: the copy is vouched through epoch 0.
+    EXPECT_TRUE(rig.read(0, 0x100, MarkKind::TimeRead, 1).hit);
+}
+
+TEST(TpiScheme2, NormalReadMissOnTagResetWordRefills)
+{
+    MachineConfig c = withScheme(SchemeKind::TPI);
+    c.timetagBits = 2; // phase 2
+    Rig rig(c);
+    rig.read(0, 0x100);
+    for (int i = 0; i < 8; ++i)
+        rig.boundary();
+    auto r = rig.read(0, 0x100); // word was invalidated by resets
+    EXPECT_FALSE(r.hit);
+    // The refill restores normal service.
+    EXPECT_TRUE(rig.read(0, 0x100).hit);
+}
+
+TEST(TpiScheme2, EvictionClassifiedAsReplacement)
+{
+    MachineConfig c = withScheme(SchemeKind::TPI);
+    c.cacheBytes = 256;
+    c.lineBytes = 16;
+    Rig rig(c);
+    rig.read(0, 0x0);
+    rig.read(0, 0x100); // conflicts in the 256-byte cache
+    auto r = rig.read(0, 0x0);
+    EXPECT_EQ(r.cls, MissClass::Replacement);
+}
+
+TEST(TpiScheme2, TimeReadMissRefillsInPlaceWithoutDuplicates)
+{
+    MachineConfig c = withScheme(SchemeKind::TPI);
+    c.assoc = 2;
+    Rig rig(c);
+    rig.read(0, 0x100); // epoch 0 fill
+    rig.boundary();
+    rig.boundary();
+    // d=1 misses (tt too old) and must refill the SAME frame.
+    EXPECT_FALSE(rig.read(0, 0x100, MarkKind::TimeRead, 1).hit);
+    rig.boundary();
+    rig.write(1, 0x100); // epoch 3
+    rig.boundary();
+    // If a duplicate frame existed, this could hit the stale one.
+    auto r = rig.read(0, 0x100, MarkKind::TimeRead, 1);
+    EXPECT_EQ(r.observed, 1u);
+}
+
+TEST(Directory2, EvictionUpdatesPresenceBits)
+{
+    MachineConfig c = withScheme(SchemeKind::HW);
+    c.cacheBytes = 256;
+    c.lineBytes = 16;
+    Rig rig(c);
+    rig.read(0, 0x100);
+    auto *d = dynamic_cast<DirectoryScheme *>(rig.scheme.get());
+    EXPECT_EQ(d->dirEntry(0x100).sharers, 1u);
+    rig.read(0, 0x200); // evicts 0x100 (clean)
+    EXPECT_EQ(d->dirEntry(0x100).sharers, 0u);
+    EXPECT_EQ(d->dirEntry(0x100).state, DirEntry::State::Uncached);
+}
+
+TEST(Directory2, DirtyEvictionLeavesMemoryCurrent)
+{
+    MachineConfig c = withScheme(SchemeKind::HW);
+    c.cacheBytes = 256;
+    c.lineBytes = 16;
+    Rig rig(c);
+    rig.write(0, 0x100);
+    rig.write(0, 0x104);
+    rig.read(0, 0x200); // evict the dirty line
+    EXPECT_EQ(rig.memory.read(0x100), 1u);
+    EXPECT_EQ(rig.memory.read(0x104), 2u);
+    auto *d = dynamic_cast<DirectoryScheme *>(rig.scheme.get());
+    EXPECT_EQ(d->dirEntry(0x100).state, DirEntry::State::Uncached);
+    // A later remote read needs no forward.
+    auto r = rig.read(1, 0x100);
+    EXPECT_EQ(r.observed, 1u);
+    EXPECT_LT(r.stall, rig.cfg.baseMissCycles +
+                           rig.cfg.dirtyMissExtraCycles);
+}
+
+TEST(Directory2, WriteMissToSharedLineInvalidatesAll)
+{
+    Rig rig(withScheme(SchemeKind::HW));
+    rig.read(1, 0x100);
+    rig.read(2, 0x100);
+    rig.read(3, 0x100);
+    rig.write(0, 0x100); // write miss, 3 sharers to invalidate
+    EXPECT_EQ(rig.scheme->stats().invalidationsSent.value(), 3u);
+    auto *d = dynamic_cast<DirectoryScheme *>(rig.scheme.get());
+    EXPECT_EQ(d->dirEntry(0x100).state, DirEntry::State::Modified);
+    EXPECT_EQ(d->dirEntry(0x100).owner, 0u);
+    EXPECT_FALSE(rig.read(1, 0x100).hit);
+}
+
+TEST(Directory2, WriteMissToModifiedLineForwards)
+{
+    Rig rig(withScheme(SchemeKind::HW));
+    rig.write(0, 0x100);
+    rig.write(1, 0x104); // same line, write miss while P0 owns it
+    EXPECT_EQ(rig.memory.read(0x100), 1u) << "owner flushed";
+    auto *d = dynamic_cast<DirectoryScheme *>(rig.scheme.get());
+    EXPECT_EQ(d->dirEntry(0x100).owner, 1u);
+    auto r = rig.read(2, 0x100);
+    EXPECT_EQ(r.observed, 1u);
+}
+
+TEST(Directory2, AccessedMaskDrivesClassification)
+{
+    Rig rig(withScheme(SchemeKind::HW));
+    // P1 reads words 0 and 1 of the line.
+    rig.read(1, 0x100);
+    rig.read(1, 0x104);
+    // P0 writes word 1: P1 used it -> true sharing.
+    rig.write(0, 0x104);
+    EXPECT_EQ(rig.read(1, 0x100).cls, MissClass::TrueShare);
+}
+
+TEST(Base2, MigrationDrainClearsCoalescingState)
+{
+    MachineConfig c = withScheme(SchemeKind::Base);
+    c.writeBufferAsCache = true;
+    Rig rig(c);
+    rig.write(0, 0x100);
+    rig.write(0, 0x100);
+    EXPECT_EQ(rig.scheme->stats().writePackets.value(), 1u);
+    rig.scheme->migrationDrain(0);
+    rig.write(0, 0x100);
+    EXPECT_EQ(rig.scheme->stats().writePackets.value(), 2u)
+        << "after the drain the write must go out again";
+}
+
+TEST(Sc2, MarkedReadOfAbsentLineIsColdNotConservative)
+{
+    Rig rig(withScheme(SchemeKind::SC));
+    auto r = rig.read(0, 0x100, MarkKind::TimeRead, 1);
+    EXPECT_EQ(r.cls, MissClass::Cold);
+}
+
+TEST(Sc2, BypassMarkAlsoRefetches)
+{
+    Rig rig(withScheme(SchemeKind::SC));
+    rig.read(0, 0x100);
+    auto r = rig.read(0, 0x100, MarkKind::Bypass);
+    EXPECT_FALSE(r.hit);
+}
+
+TEST(DirNb, FullMapHasNoOverflowPenalty)
+{
+    Rig rig(withScheme(SchemeKind::HW)); // directoryPtrs = 0: full map
+    Cycles first = rig.read(0, 0x100).stall;
+    for (ProcId p = 1; p < 8; ++p) {
+        auto r = rig.read(p, 0x100);
+        EXPECT_LE(r.stall, first + 2) << "no pointer overflow in full map";
+    }
+}
+
+TEST(DirNb, OverflowRecoversWhenSharersCollapse)
+{
+    MachineConfig c = withScheme(SchemeKind::HW);
+    c.directoryPtrs = 2;
+    Rig rig(c);
+    rig.read(0, 0x100);
+    rig.read(1, 0x100);
+    auto over = rig.read(2, 0x100); // third sharer overflows 2 pointers
+    EXPECT_GE(over.stall, rig.cfg.baseMissCycles +
+                              rig.cfg.directoryOverflowCycles);
+    rig.write(3, 0x100); // invalidate all; sharers collapse to {3}
+    // Owner + one reader = 2 sharers: fits the pointers again; the dirty
+    // forward dominates but no overflow penalty applies.
+    auto r = rig.read(0, 0x100);
+    EXPECT_LT(r.stall, rig.cfg.baseMissCycles +
+                           rig.cfg.dirtyMissExtraCycles +
+                           rig.cfg.directoryOverflowCycles);
+}

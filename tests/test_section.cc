@@ -1,0 +1,260 @@
+/** @file Unit + property tests for the array-section algebra. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "compiler/section.hh"
+
+using namespace hscd;
+using namespace hscd::compiler;
+
+namespace {
+
+DimTriplet
+t(std::int64_t lo, std::int64_t hi, std::int64_t stride = 1)
+{
+    return DimTriplet{lo, hi, stride};
+}
+
+/** Enumerate the elements of a triplet (test oracle). */
+std::set<std::int64_t>
+elems(const DimTriplet &d)
+{
+    std::set<std::int64_t> out;
+    for (std::int64_t v = d.lo; v <= d.hi; v += d.stride)
+        out.insert(v);
+    return out;
+}
+
+bool
+trueOverlap(const DimTriplet &a, const DimTriplet &b)
+{
+    auto ea = elems(a);
+    for (std::int64_t v : elems(b))
+        if (ea.count(v))
+            return true;
+    return false;
+}
+
+bool
+trueContains(const DimTriplet &a, const DimTriplet &b)
+{
+    auto ea = elems(a);
+    for (std::int64_t v : elems(b))
+        if (!ea.count(v))
+            return false;
+    return true;
+}
+
+} // namespace
+
+TEST(DimTriplet, CountAndEmpty)
+{
+    EXPECT_TRUE(t(3, 2).empty());
+    EXPECT_EQ(t(3, 2).count(), 0);
+    EXPECT_EQ(t(0, 9).count(), 10);
+    EXPECT_EQ(t(0, 9, 3).count(), 4);
+    EXPECT_EQ(t(5, 5).count(), 1);
+}
+
+TEST(DimTriplet, OverlapBasics)
+{
+    EXPECT_TRUE(t(0, 9).mayOverlap(t(5, 15)));
+    EXPECT_FALSE(t(0, 4).mayOverlap(t(5, 9)));
+    EXPECT_TRUE(t(0, 9).mayOverlap(t(9, 9)));
+    EXPECT_FALSE(t(3, 2).mayOverlap(t(0, 9)));
+}
+
+TEST(DimTriplet, OverlapStrideResidues)
+{
+    // Evens vs odds: provably disjoint.
+    EXPECT_FALSE(t(0, 100, 2).mayOverlap(t(1, 99, 2)));
+    // Evens vs evens: overlap.
+    EXPECT_TRUE(t(0, 100, 2).mayOverlap(t(50, 80, 2)));
+    // stride 3 starting at 0 vs stride 3 starting at 1.
+    EXPECT_FALSE(t(0, 90, 3).mayOverlap(t(1, 91, 3)));
+    // gcd(4,6)=2, offsets 0 and 2: residues match mod 2 -> may overlap.
+    EXPECT_TRUE(t(0, 100, 4).mayOverlap(t(2, 100, 6)));
+    // gcd(4,6)=2, offsets 0 and 1: disjoint.
+    EXPECT_FALSE(t(0, 100, 4).mayOverlap(t(1, 101, 6)));
+}
+
+TEST(DimTriplet, OverlapNeverFalseNegative)
+{
+    // Property: mayOverlap must be true whenever a real common element
+    // exists (conservative direction).
+    Rng rng(42);
+    for (int iter = 0; iter < 3000; ++iter) {
+        DimTriplet a{rng.range(-10, 30), 0, rng.range(1, 7)};
+        a.hi = a.lo + rng.range(-2, 40);
+        DimTriplet b{rng.range(-10, 30), 0, rng.range(1, 7)};
+        b.hi = b.lo + rng.range(-2, 40);
+        if (trueOverlap(a, b)) {
+            EXPECT_TRUE(a.mayOverlap(b))
+                << a.str() << " vs " << b.str();
+        }
+    }
+}
+
+TEST(DimTriplet, ContainsExactOnRandomTriplets)
+{
+    // contains() is a must-analysis: it may only say true when b really is
+    // a subset of a.
+    Rng rng(43);
+    for (int iter = 0; iter < 3000; ++iter) {
+        DimTriplet a{rng.range(-5, 20), 0, rng.range(1, 6)};
+        a.hi = a.lo + rng.range(-2, 30);
+        DimTriplet b{rng.range(-5, 20), 0, rng.range(1, 6)};
+        b.hi = b.lo + rng.range(-2, 30);
+        if (a.contains(b)) {
+            EXPECT_TRUE(trueContains(a, b))
+                << a.str() << " should contain " << b.str();
+        }
+    }
+}
+
+TEST(DimTriplet, ContainsBasics)
+{
+    EXPECT_TRUE(t(0, 9).contains(t(2, 5)));
+    EXPECT_FALSE(t(0, 9).contains(t(2, 15)));
+    EXPECT_TRUE(t(0, 10, 2).contains(t(2, 8, 2)));
+    EXPECT_FALSE(t(0, 10, 2).contains(t(1, 9, 2)));
+    EXPECT_TRUE(t(0, 10, 2).contains(t(4, 4)));
+    EXPECT_FALSE(t(0, 10, 2).contains(t(3, 3)));
+    EXPECT_TRUE(t(0, 100).contains(t(5, 4)));  // empty always contained
+    EXPECT_TRUE(t(0, 12, 3).contains(t(0, 12, 6)));
+    EXPECT_FALSE(t(0, 12, 4).contains(t(0, 12, 6)));
+}
+
+TEST(DimTriplet, HullCoversBoth)
+{
+    Rng rng(44);
+    for (int iter = 0; iter < 2000; ++iter) {
+        DimTriplet a{rng.range(-5, 20), 0, rng.range(1, 6)};
+        a.hi = a.lo + rng.range(0, 30);
+        DimTriplet b{rng.range(-5, 20), 0, rng.range(1, 6)};
+        b.hi = b.lo + rng.range(0, 30);
+        DimTriplet h = a.hull(b);
+        EXPECT_TRUE(h.contains(a)) << h.str() << " !>= " << a.str();
+        EXPECT_TRUE(h.contains(b)) << h.str() << " !>= " << b.str();
+    }
+}
+
+TEST(DimTriplet, HullWithEmpty)
+{
+    EXPECT_EQ(t(5, 4).hull(t(0, 9, 3)), t(0, 9, 3));
+    EXPECT_EQ(t(0, 9, 3).hull(t(5, 4)), t(0, 9, 3));
+}
+
+TEST(DimTriplet, Str)
+{
+    EXPECT_EQ(t(0, 9).str(), "0:9");
+    EXPECT_EQ(t(0, 9, 2).str(), "0:9:2");
+    EXPECT_EQ(t(4, 4).str(), "4");
+    EXPECT_EQ(t(4, 3).str(), "<empty>");
+}
+
+TEST(RegularSection, WholeArray)
+{
+    hir::ArrayDecl decl{"A", {10, 20}, 0};
+    RegularSection s = RegularSection::whole(decl, 3);
+    EXPECT_EQ(s.array(), 3u);
+    ASSERT_EQ(s.dims().size(), 2u);
+    EXPECT_EQ(s.dims()[0], t(0, 9));
+    EXPECT_EQ(s.dims()[1], t(0, 19));
+    EXPECT_FALSE(s.empty());
+}
+
+TEST(RegularSection, OverlapRequiresSameArray)
+{
+    RegularSection a(0, {t(0, 9)});
+    RegularSection b(1, {t(0, 9)});
+    EXPECT_FALSE(a.mayOverlap(b));
+    EXPECT_TRUE(a.mayOverlap(RegularSection(0, {t(5, 12)})));
+}
+
+TEST(RegularSection, OverlapAllDimsMustIntersect)
+{
+    RegularSection a(0, {t(0, 9), t(0, 9)});
+    RegularSection row(0, {t(0, 9), t(20, 29)});
+    EXPECT_FALSE(a.mayOverlap(row));
+    RegularSection corner(0, {t(9, 12), t(9, 12)});
+    EXPECT_TRUE(a.mayOverlap(corner));
+}
+
+TEST(RegularSection, Contains)
+{
+    RegularSection a(0, {t(0, 9), t(0, 9)});
+    EXPECT_TRUE(a.contains(RegularSection(0, {t(1, 3), t(4, 4)})));
+    EXPECT_FALSE(a.contains(RegularSection(0, {t(1, 3), t(4, 14)})));
+    EXPECT_FALSE(a.contains(RegularSection(1, {t(1, 3), t(4, 4)})));
+}
+
+TEST(RegularSection, EmptyWhenAnyDimEmpty)
+{
+    RegularSection a(0, {t(0, 9), t(5, 4)});
+    EXPECT_TRUE(a.empty());
+    EXPECT_FALSE(a.mayOverlap(a));
+}
+
+TEST(SectionSet, AddAbsorbsContained)
+{
+    SectionSet s;
+    s.add(RegularSection(0, {t(0, 9)}));
+    s.add(RegularSection(0, {t(2, 5)}));
+    EXPECT_EQ(s.terms().size(), 1u);
+    s.add(RegularSection(0, {t(0, 20)}));
+    EXPECT_EQ(s.terms().size(), 1u);
+    EXPECT_EQ(s.terms()[0].dims()[0], t(0, 20));
+}
+
+TEST(SectionSet, OverlapQueries)
+{
+    SectionSet s;
+    s.add(RegularSection(0, {t(0, 4)}));
+    s.add(RegularSection(1, {t(10, 14)}));
+    EXPECT_TRUE(s.mayOverlap(RegularSection(0, {t(4, 8)})));
+    EXPECT_FALSE(s.mayOverlap(RegularSection(0, {t(5, 8)})));
+    EXPECT_TRUE(s.mayOverlap(RegularSection(1, {t(14, 20)})));
+
+    SectionSet o;
+    o.add(RegularSection(1, {t(12, 13)}));
+    EXPECT_TRUE(s.mayOverlap(o));
+    SectionSet n;
+    n.add(RegularSection(2, {t(0, 100)}));
+    EXPECT_FALSE(s.mayOverlap(n));
+}
+
+TEST(SectionSet, WidensBeyondCapSoundly)
+{
+    SectionSet s(4);
+    for (int i = 0; i < 12; ++i)
+        s.add(RegularSection(0, {t(i * 10, i * 10 + 2)}));
+    EXPECT_LE(s.terms().size(), 5u);
+    // Everything ever added must still be covered (may-set soundness).
+    for (int i = 0; i < 12; ++i)
+        EXPECT_TRUE(s.mayOverlap(RegularSection(0, {t(i * 10, i * 10)})));
+}
+
+TEST(SectionSet, UnionWith)
+{
+    SectionSet a, b;
+    a.add(RegularSection(0, {t(0, 4)}));
+    b.add(RegularSection(0, {t(10, 14)}));
+    b.add(RegularSection(3, {t(0, 1)}));
+    a.unionWith(b);
+    EXPECT_TRUE(a.mayOverlap(RegularSection(0, {t(12, 12)})));
+    EXPECT_TRUE(a.mayOverlap(RegularSection(3, {t(1, 1)})));
+    EXPECT_TRUE(a.mayOverlap(RegularSection(0, {t(2, 2)})));
+}
+
+TEST(Gcd64, Basics)
+{
+    EXPECT_EQ(gcd64(12, 18), 6);
+    EXPECT_EQ(gcd64(-12, 18), 6);
+    EXPECT_EQ(gcd64(0, 7), 7);
+    EXPECT_EQ(gcd64(7, 0), 7);
+    EXPECT_EQ(gcd64(1, 999), 1);
+}

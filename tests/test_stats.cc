@@ -1,0 +1,123 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace hscd;
+using namespace hscd::stats;
+
+TEST(Stats, ScalarCounts)
+{
+    StatGroup g("g");
+    Scalar s(&g, "s", "a counter");
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 4;
+    EXPECT_EQ(s.value(), 5u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, AverageMean)
+{
+    StatGroup g("g");
+    Average a(&g, "a", "");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2);
+    a.sample(4);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+}
+
+TEST(Stats, HistogramBinsAndOverflow)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "", 100.0, 10);
+    h.sample(5);     // bin 0
+    h.sample(15);    // bin 1
+    h.sample(99);    // bin 9
+    h.sample(100);   // overflow
+    h.sample(1000);  // overflow
+    EXPECT_EQ(h.bins()[0], 1u);
+    EXPECT_EQ(h.bins()[1], 1u);
+    EXPECT_EQ(h.bins()[9], 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_NEAR(h.mean(), (5 + 15 + 99 + 100 + 1000) / 5.0, 1e-9);
+}
+
+TEST(Stats, HistogramReset)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "", 10.0, 2);
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bins()[0], 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Stats, FormulaTracksInputs)
+{
+    StatGroup g("g");
+    Scalar hits(&g, "hits", "");
+    Scalar total(&g, "total", "");
+    Formula rate(&g, "rate", "", [&] {
+        return total.value() ? double(hits.value()) / total.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(rate.value(), 0.0);
+    hits += 3;
+    total += 4;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.75);
+}
+
+TEST(Stats, GroupDumpContainsPathsAndDescs)
+{
+    StatGroup root("machine");
+    StatGroup child("cache", &root);
+    Scalar s(&child, "misses", "number of misses");
+    s += 7;
+    std::ostringstream os;
+    root.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("machine.cache.misses = 7"), std::string::npos);
+    EXPECT_NE(text.find("number of misses"), std::string::npos);
+}
+
+TEST(Stats, GroupResetAllRecurses)
+{
+    StatGroup root("r");
+    StatGroup child("c", &root);
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Stats, LookupByDottedPath)
+{
+    StatGroup root("r");
+    StatGroup child("c", &root);
+    Scalar b(&child, "b", "");
+    b += 2;
+    const StatBase *found = root.lookup("c.b");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->render(), "2");
+    EXPECT_EQ(root.lookup("c.zzz"), nullptr);
+    EXPECT_EQ(root.lookup("x.b"), nullptr);
+}
+
+TEST(Stats, FindDirect)
+{
+    StatGroup root("r");
+    Scalar a(&root, "a", "");
+    EXPECT_EQ(root.find("a"), &a);
+    EXPECT_EQ(root.find("nope"), nullptr);
+}

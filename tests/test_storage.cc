@@ -1,0 +1,76 @@
+/** @file Tests for the Figure 5 storage-overhead model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/storage_model.hh"
+
+using namespace hscd;
+using namespace hscd::mem;
+
+TEST(Storage, FullMapMatchesPaperTotals)
+{
+    // P=1024, C=16K blocks: 2*C*P bits = 32 Mbit = 4 MB SRAM.
+    StorageParams p;
+    auto o = fullMapOverhead(p);
+    EXPECT_DOUBLE_EQ(o.cacheSramBits, 2.0 * 16384 * 1024);
+    EXPECT_EQ(formatBits(o.cacheSramBits), "4.0 MB");
+    // (P+2)*M*P with M=512K: about 64.1 GB DRAM (paper: 64.5).
+    EXPECT_NEAR(o.memoryDramBits / 8 / (1024.0 * 1024 * 1024), 64.1, 0.5);
+}
+
+TEST(Storage, TpiMatchesPaperTotal)
+{
+    // 8 * L * C * P bits = 8*4*16K*1024 = 512 Mbit = 64 MB SRAM only.
+    StorageParams p;
+    auto o = tpiOverhead(p);
+    EXPECT_EQ(formatBits(o.cacheSramBits), "64.0 MB");
+    EXPECT_DOUBLE_EQ(o.memoryDramBits, 0.0);
+}
+
+TEST(Storage, LimitlessBetweenTpiAndFullMap)
+{
+    StorageParams p;
+    auto full = fullMapOverhead(p);
+    auto lim = limitlessOverhead(p);
+    auto tpi = tpiOverhead(p);
+    EXPECT_LT(lim.memoryDramBits, full.memoryDramBits);
+    EXPECT_GT(lim.memoryDramBits, 0.0);
+    EXPECT_LT(tpi.totalBits(), full.totalBits());
+    EXPECT_LT(tpi.totalBits(), lim.totalBits());
+}
+
+TEST(Storage, TpiScalesWithCacheNotMemory)
+{
+    StorageParams p;
+    auto base = tpiOverhead(p);
+    StorageParams big_mem = p;
+    big_mem.memBlocks *= 16;
+    EXPECT_DOUBLE_EQ(tpiOverhead(big_mem).totalBits(), base.totalBits())
+        << "TPI overhead is independent of memory size";
+    StorageParams big_cache = p;
+    big_cache.cacheBlocks *= 2;
+    EXPECT_DOUBLE_EQ(tpiOverhead(big_cache).totalBits(),
+                     2 * base.totalBits());
+    // Directory DRAM overhead grows quadratically with P.
+    StorageParams big_p = p;
+    big_p.procs *= 2;
+    EXPECT_GT(fullMapOverhead(big_p).memoryDramBits,
+              3.9 * fullMapOverhead(p).memoryDramBits);
+}
+
+TEST(Storage, FormatBits)
+{
+    EXPECT_EQ(formatBits(8.0), "1.0 B");
+    EXPECT_EQ(formatBits(8.0 * 1024), "1.0 KB");
+    EXPECT_EQ(formatBits(8.0 * 1024 * 1024 * 1536), "1.5 GB");
+}
+
+TEST(Storage, TimetagWidthScalesTpi)
+{
+    StorageParams p;
+    p.timetagBits = 4;
+    auto narrow = tpiOverhead(p);
+    p.timetagBits = 8;
+    auto wide = tpiOverhead(p);
+    EXPECT_DOUBLE_EQ(wide.cacheSramBits, 2 * narrow.cacheSramBits);
+}

@@ -1,0 +1,107 @@
+/** @file Unit tests for interprocedural MOD/USE summaries. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/summary.hh"
+#include "hir/builder.hh"
+
+using namespace hscd;
+using namespace hscd::hir;
+using namespace hscd::compiler;
+
+TEST(Summary, LeafProcedureSections)
+{
+    ProgramBuilder b;
+    b.param("N", 32);
+    b.array("A", {"N"});
+    b.array("B", {"N"});
+    b.proc("MAIN", [&] { b.call("KERNEL"); });
+    b.proc("KERNEL", [&] {
+        b.doserial("i", 0, b.p("N") - 1, [&] {
+            b.read("B", {b.v("i")});
+            b.write("A", {b.v("i")});
+        });
+    });
+    Program p = b.build();
+    auto sums = summarizeProcedures(p);
+    const ProcSummary &k = sums[p.findProcedure("KERNEL")];
+    ArrayId a = p.findArray("A");
+    ArrayId bb = p.findArray("B");
+    EXPECT_TRUE(k.mod.mayOverlap(RegularSection(a, {DimTriplet{0, 31}})));
+    EXPECT_FALSE(k.mod.mayOverlap(RegularSection(bb, {DimTriplet{0, 31}})));
+    EXPECT_TRUE(k.use.mayOverlap(RegularSection(bb, {DimTriplet{5, 5}})));
+    EXPECT_EQ(k.directRefs, 2u);
+    EXPECT_EQ(k.totalRefs, 2u);
+    EXPECT_FALSE(k.hasBoundary);
+}
+
+TEST(Summary, PropagatesUpTheCallGraph)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] { b.call("MID"); });
+    b.proc("MID", [&] {
+        b.compute(1);
+        b.call("LEAF");
+    });
+    b.proc("LEAF", [&] { b.write("A", {b.c(3)}); });
+    Program p = b.build();
+    auto sums = summarizeProcedures(p);
+    ArrayId a = p.findArray("A");
+    const RegularSection elem(a, {DimTriplet{3, 3}});
+    EXPECT_TRUE(sums[p.findProcedure("LEAF")].mod.mayOverlap(elem));
+    EXPECT_TRUE(sums[p.findProcedure("MID")].mod.mayOverlap(elem));
+    EXPECT_TRUE(sums[p.findProcedure("MAIN")].mod.mayOverlap(elem));
+    EXPECT_EQ(sums[p.findProcedure("MID")].directRefs, 0u);
+    EXPECT_EQ(sums[p.findProcedure("MID")].totalRefs, 1u);
+}
+
+TEST(Summary, BoundaryFlagPropagates)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] { b.call("MID"); });
+    b.proc("MID", [&] { b.call("PAR"); });
+    b.proc("PAR", [&] {
+        b.doall("i", 0, 15, [&] { b.write("A", {b.v("i")}); });
+    });
+    Program p = b.build();
+    auto sums = summarizeProcedures(p);
+    EXPECT_TRUE(sums[p.findProcedure("PAR")].hasBoundary);
+    EXPECT_TRUE(sums[p.findProcedure("MID")].hasBoundary);
+    EXPECT_TRUE(sums[p.findProcedure("MAIN")].hasBoundary);
+}
+
+TEST(Summary, BothBranchesCounted)
+{
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{16}});
+    b.proc("MAIN", [&] {
+        b.ifUnknown(TakePolicy::Alternate,
+                    [&] { b.write("A", {b.c(0)}); },
+                    [&] { b.write("A", {b.c(8)}); });
+    });
+    Program p = b.build();
+    auto sums = summarizeProcedures(p);
+    ArrayId a = p.findArray("A");
+    const ProcSummary &m = sums[p.findProcedure("MAIN")];
+    EXPECT_TRUE(m.mod.mayOverlap(RegularSection(a, {DimTriplet{0, 0}})));
+    EXPECT_TRUE(m.mod.mayOverlap(RegularSection(a, {DimTriplet{8, 8}})));
+}
+
+TEST(Summary, CallerLoopVarWidensToWholeDim)
+{
+    // LEAF reads A(i) where i is the *caller's* loop variable; a
+    // standalone summary of LEAF cannot bound it.
+    ProgramBuilder b;
+    b.array("A", {std::int64_t{64}});
+    b.proc("MAIN", [&] {
+        b.doserial("i", 0, 3, [&] { b.call("LEAF"); });
+    });
+    b.proc("LEAF", [&] { b.read("A", {b.v("i")}); });
+    Program p = b.build();
+    auto sums = summarizeProcedures(p);
+    const ProcSummary &leaf = sums[p.findProcedure("LEAF")];
+    ASSERT_EQ(leaf.use.terms().size(), 1u);
+    EXPECT_EQ(leaf.use.terms()[0].dims()[0].hi, 63);
+}

@@ -1,0 +1,165 @@
+/** @file Tests for symbolic-parameter (size-range) compilation. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/analysis.hh"
+#include "hir/builder.hh"
+#include "sim/machine.hh"
+
+using namespace hscd;
+using namespace hscd::hir;
+using namespace hscd::compiler;
+
+namespace {
+
+Program
+rangedProgram(std::int64_t n)
+{
+    ProgramBuilder b;
+    b.param("N", n, 16, 4096); // bound n, declared range [16, 4096]
+    b.array("A", {4096});      // sized for the worst case
+    b.array("B", {4096});
+    b.proc("MAIN", [&] {
+        b.doserial("t", 0, 3, [&] {
+            b.doall("i", 0, b.p("N") - 1, [&] {
+                b.read("A", {b.v("i")});
+                b.write("A", {b.v("i")});
+                b.read("B", {b.v("i")});
+            });
+            // Writes only the low half: concrete analysis can prove the
+            // upper half read-only; symbolic analysis cannot separate
+            // N/2-dependent bounds, so it stays conservative.
+            b.doall("j", 0, b.p("N") - 1, [&] {
+                b.write("B", {b.v("j")});
+            });
+        });
+    });
+    return b.build();
+}
+
+} // namespace
+
+TEST(Symbolic, ParamRangeStoredAndDefaulted)
+{
+    ProgramBuilder b;
+    b.param("N", 64, 16, 256);
+    b.param("M", 8);
+    b.proc("MAIN", [&] { b.compute(1); });
+    Program p = b.build();
+    EXPECT_EQ(p.paramRange("N").lo, 16);
+    EXPECT_EQ(p.paramRange("N").hi, 256);
+    EXPECT_EQ(p.paramRange("M").lo, 8);
+    EXPECT_EQ(p.paramRange("M").hi, 8);
+}
+
+TEST(Symbolic, OutOfRangeValueRejected)
+{
+    ProgramBuilder b;
+    EXPECT_THROW(b.param("N", 8, 16, 256), FatalError);
+    ProgramBuilder b2;
+    EXPECT_THROW(b2.param("N", 8, 16, 4), FatalError);
+}
+
+TEST(Symbolic, MarkingAtLeastAsConservative)
+{
+    Program p1 = rangedProgram(64);
+    Program p2 = rangedProgram(64);
+    AnalysisOptions conc;
+    AnalysisOptions sym;
+    sym.symbolicParams = true;
+    CompiledProgram c = compileProgram(std::move(p1), conc);
+    CompiledProgram s = compileProgram(std::move(p2), sym);
+    EXPECT_GE(s.marking.stats().timeRead, c.marking.stats().timeRead);
+    EXPECT_LE(s.marking.stats().normal, c.marking.stats().normal);
+}
+
+TEST(Symbolic, OneMarkingServesManySizes)
+{
+    // Compile once symbolically; the same marks must stay coherent when
+    // the program is rebuilt (and run) at other sizes in the range.
+    for (std::int64_t n : {16, 64, 128}) {
+        AnalysisOptions sym;
+        sym.symbolicParams = true;
+        CompiledProgram cp = compileProgram(rangedProgram(n), sym);
+        MachineConfig cfg;
+        cfg.scheme = SchemeKind::TPI;
+        cfg.procs = 4;
+        sim::RunResult r = sim::simulate(cp, cfg);
+        EXPECT_EQ(r.oracleViolations, 0u) << "N=" << n;
+        EXPECT_EQ(r.doallViolations, 0u);
+    }
+}
+
+TEST(Symbolic, RangeIncludingZeroTripsBypassEdge)
+{
+    // With N possibly 0 the loop may not execute: the bypass edge makes
+    // the post-loop read's distance conservative (0 through the bypass).
+    ProgramBuilder b;
+    b.param("N", 8, 0, 64);
+    b.array("A", {64});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("w", 0, 63, [&] { b.write("A", {b.v("w")}); });
+        b.doserial("t", 0, b.p("N") - 1, [&] {
+            b.doall("i", 0, 63, [&] { b.compute(1); });
+        });
+        r = b.read("A", {b.c(0)});
+    });
+    Program p = b.build();
+    AnalysisOptions sym;
+    sym.symbolicParams = true;
+    CompiledProgram cp = compileProgram(std::move(p), sym);
+    // Distance must be the bypass path (1), not through the loop (3).
+    EXPECT_EQ(cp.marking.mark(r).kind, MarkKind::TimeRead);
+    EXPECT_EQ(cp.marking.mark(r).distance, 1u);
+}
+
+TEST(Symbolic, ConcreteAnalysisUsesBoundValue)
+{
+    // Same program compiled concretely: the serial loop provably runs
+    // (N = 8 >= 1), so the distance is through the loop.
+    ProgramBuilder b;
+    b.param("N", 8, 0, 64);
+    b.array("A", {64});
+    RefId r = invalidRef;
+    b.proc("MAIN", [&] {
+        b.doall("w", 0, 63, [&] { b.write("A", {b.v("w")}); });
+        b.doserial("t", 0, b.p("N") - 1, [&] {
+            b.doall("i", 0, 63, [&] { b.compute(1); });
+        });
+        r = b.read("A", {b.c(0)});
+    });
+    CompiledProgram cp = compileProgram(b.build());
+    EXPECT_EQ(cp.marking.mark(r).distance, 3u)
+        << "exit DOALL boundary + inner DOALL entry/exit";
+}
+
+TEST(Symbolic, StressWithMigrationAndNarrowTags)
+{
+    // The most hostile combination: symbolic marking (widest sections),
+    // serial-task migration (affinity must be off), 2-bit tags (constant
+    // two-phase resets), dynamic scheduling. Coherence must survive all
+    // of it at once.
+    AnalysisOptions opts;
+    opts.symbolicParams = true;
+    opts.assumeSerialAffinity = false;
+    CompiledProgram cp = compileProgram(rangedProgram(128), opts);
+    MachineConfig cfg;
+    cfg.scheme = SchemeKind::TPI;
+    cfg.procs = 8;
+    cfg.timetagBits = 2;
+    cfg.sched = SchedPolicy::Dynamic;
+    cfg.migrationRate = 1.0;
+    cfg.cacheBytes = 2048;
+    sim::RunResult r = sim::simulate(cp, cfg);
+    EXPECT_EQ(r.oracleViolations, 0u);
+    EXPECT_EQ(r.doallViolations, 0u);
+}
+
+TEST(Symbolic, UnknownParamNamePanics)
+{
+    ProgramBuilder b;
+    b.proc("MAIN", [&] { b.compute(1); });
+    Program p = b.build();
+    EXPECT_THROW(p.paramRange("GHOST"), PanicError);
+}

@@ -1,0 +1,170 @@
+/** @file Tests for trace capture, serialization, and replay. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+#include "workloads/workloads.hh"
+
+using namespace hscd;
+using namespace hscd::sim;
+
+namespace {
+
+struct Captured
+{
+    std::vector<TraceRecord> records;
+    RunResult run;
+    Addr dataBytes;
+    MachineConfig cfg;
+};
+
+Captured
+capture(SchemeKind k)
+{
+    static compiler::CompiledProgram cp =
+        compiler::compileProgram(workloads::microJacobi(96, 4));
+    Captured out;
+    out.cfg.scheme = k;
+    out.cfg.procs = 4;
+    out.dataBytes = cp.program.dataBytes();
+    Machine m(cp, out.cfg);
+    TraceBuffer buf;
+    m.setTraceSink(&buf);
+    out.run = m.run();
+    out.records = buf.take();
+    return out;
+}
+
+} // namespace
+
+TEST(Trace, CaptureShape)
+{
+    Captured c = capture(SchemeKind::TPI);
+    Counter accesses = 0, boundaries = 0;
+    for (const TraceRecord &r : c.records) {
+        if (r.type == TraceRecord::Type::Access)
+            ++accesses;
+        else
+            ++boundaries;
+    }
+    EXPECT_EQ(accesses, c.run.reads + c.run.writes);
+    EXPECT_EQ(boundaries, c.run.epochs);
+}
+
+TEST(Trace, RoundTripSerialization)
+{
+    Captured c = capture(SchemeKind::TPI);
+    std::stringstream ss;
+    writeTrace(ss, c.records, c.cfg.procs, c.dataBytes);
+    ParsedTrace parsed = readTrace(ss);
+    EXPECT_EQ(parsed.procs, c.cfg.procs);
+    EXPECT_EQ(parsed.dataBytes, c.dataBytes);
+    ASSERT_EQ(parsed.records.size(), c.records.size());
+    for (std::size_t i = 0; i < c.records.size(); ++i) {
+        const TraceRecord &a = c.records[i];
+        const TraceRecord &b = parsed.records[i];
+        ASSERT_EQ(a.type, b.type) << "record " << i;
+        if (a.type == TraceRecord::Type::Access) {
+            EXPECT_EQ(a.op.proc, b.op.proc);
+            EXPECT_EQ(a.op.addr, b.op.addr);
+            EXPECT_EQ(a.op.write, b.op.write);
+            EXPECT_EQ(a.op.mark, b.op.mark);
+            EXPECT_EQ(a.op.distance, b.op.distance);
+            EXPECT_EQ(a.op.stamp, b.op.stamp);
+            EXPECT_EQ(a.op.critical, b.op.critical);
+        } else {
+            EXPECT_EQ(a.epoch, b.epoch);
+        }
+    }
+}
+
+TEST(Trace, ReplayReproducesMissCounts)
+{
+    // Replaying through an identical (direct-mapped) machine must give
+    // byte-identical miss behaviour: hits and misses depend only on the
+    // reference stream, not on absolute cycle times.
+    for (SchemeKind k :
+         {SchemeKind::SC, SchemeKind::TPI, SchemeKind::HW})
+    {
+        Captured c = capture(k);
+        ReplayResult r = replayTrace(c.records, c.cfg, c.dataBytes);
+        EXPECT_EQ(r.reads, c.run.reads) << schemeName(k);
+        EXPECT_EQ(r.writes, c.run.writes) << schemeName(k);
+        EXPECT_EQ(r.readMisses, c.run.readMisses) << schemeName(k);
+        EXPECT_EQ(r.missConservative, c.run.missConservative)
+            << schemeName(k);
+        EXPECT_EQ(r.missFalseShare, c.run.missFalseShare)
+            << schemeName(k);
+    }
+}
+
+TEST(Trace, CrossSchemeReplay)
+{
+    // A TPI-compiled trace replays through the directory scheme (which
+    // ignores the marks) and through SC (which uses them differently).
+    Captured c = capture(SchemeKind::TPI);
+    MachineConfig hw = c.cfg;
+    hw.scheme = SchemeKind::HW;
+    ReplayResult rh = replayTrace(c.records, hw, c.dataBytes);
+    EXPECT_EQ(rh.reads, c.run.reads);
+    EXPECT_GT(rh.readMisses, 0u);
+
+    MachineConfig sc = c.cfg;
+    sc.scheme = SchemeKind::SC;
+    ReplayResult rs = replayTrace(c.records, sc, c.dataBytes);
+    EXPECT_GE(rs.readMisses, c.run.readMisses)
+        << "SC cannot beat TPI on the same marked trace";
+
+    MachineConfig vc = c.cfg;
+    vc.scheme = SchemeKind::VC;
+    ReplayResult rv = replayTrace(c.records, vc, c.dataBytes);
+    EXPECT_EQ(rv.reads, c.run.reads)
+        << "traces carry the array ids the VC scheme needs";
+}
+
+TEST(Trace, MalformedInputsRejected)
+{
+    {
+        std::istringstream in("");
+        EXPECT_THROW(readTrace(in), FatalError);
+    }
+    {
+        std::istringstream in("H wrong-magic 1 4 1024\n");
+        EXPECT_THROW(readTrace(in), FatalError);
+    }
+    {
+        std::istringstream in("H hscd-trace 1 4 1024\nX 1 2 3\n");
+        EXPECT_THROW(readTrace(in), FatalError);
+    }
+    {
+        std::istringstream in("H hscd-trace 1 4 1024\nA 0 16 W\n");
+        EXPECT_THROW(readTrace(in), FatalError);
+    }
+    {
+        std::istringstream in("H hscd-trace 1 4 1024\nA 0 16 R z 0 0 0\n");
+        EXPECT_THROW(readTrace(in), FatalError);
+    }
+}
+
+TEST(Trace, EmptyBodyIsFine)
+{
+    std::istringstream in("H hscd-trace 1 4 1024\n");
+    ParsedTrace p = readTrace(in);
+    EXPECT_TRUE(p.records.empty());
+    MachineConfig cfg;
+    cfg.procs = 4;
+    ReplayResult r = replayTrace(p.records, cfg, p.dataBytes);
+    EXPECT_EQ(r.reads, 0u);
+    EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(Trace, ReplayRejectsOutOfRangeProcessor)
+{
+    Captured c = capture(SchemeKind::TPI);
+    MachineConfig tiny = c.cfg;
+    tiny.procs = 1;
+    EXPECT_THROW(replayTrace(c.records, tiny, c.dataBytes), PanicError);
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The umbrella header must be self-contained and sufficient for the
+ * README's quickstart flow end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hscd/hscd.hh"
+
+TEST(Umbrella, QuickstartFlowWorks)
+{
+    using namespace hscd;
+
+    hir::ProgramBuilder b;
+    b.param("N", 128);
+    b.array("X", {"N"});
+    b.proc("MAIN", [&] {
+        b.doserial("t", 0, 4, [&] {
+            b.doall("i", 0, 127, [&] {
+                b.read("X", {b.v("i")});
+                b.compute(3);
+                b.write("X", {b.v("i")});
+            });
+        });
+    });
+
+    compiler::CompiledProgram cp = compiler::compileProgram(b.build());
+    MachineConfig cfg;
+    cfg.scheme = SchemeKind::TPI;
+    sim::RunResult r = sim::simulate(cp, cfg);
+    EXPECT_EQ(r.oracleViolations, 0u);
+    EXPECT_GT(r.timeReadHits, 0u);
+
+    // Every public surface referenced by the header is reachable.
+    EXPECT_EQ(workloads::benchmarkNames().size(), 6u);
+    mem::StorageParams sp;
+    EXPECT_GT(mem::tpiOverhead(sp).cacheSramBits, 0.0);
+    EXPECT_FALSE(hir::programToString(cp.program).empty());
+    EXPECT_STREQ(schemeName(SchemeKind::VC), "VC");
+}
+
+TEST(Umbrella, EveryBenchmarkThroughThePublicApi)
+{
+    using namespace hscd;
+    for (const std::string &name : workloads::benchmarkNames()) {
+        compiler::CompiledProgram cp = compiler::compileProgram(
+            workloads::buildBenchmark(name, 1));
+        MachineConfig cfg;
+        cfg.procs = 4;
+        cfg.scheme = SchemeKind::TPI;
+        sim::Machine m(cp, cfg);
+        sim::TraceBuffer trace;
+        m.setTraceSink(&trace);
+        sim::RunResult r = m.run();
+        EXPECT_EQ(r.oracleViolations, 0u) << name;
+        EXPECT_EQ(trace.records().size() > 0, true) << name;
+    }
+}
