@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_sched"
+  "../bench/bench_a2_sched.pdb"
+  "CMakeFiles/bench_a2_sched.dir/bench_a2_sched.cc.o"
+  "CMakeFiles/bench_a2_sched.dir/bench_a2_sched.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_interproc"
+  "../bench/bench_a3_interproc.pdb"
+  "CMakeFiles/bench_a3_interproc.dir/bench_a3_interproc.cc.o"
+  "CMakeFiles/bench_a3_interproc.dir/bench_a3_interproc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_interproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_missrates"
+  "../bench/bench_fig11_missrates.pdb"
+  "CMakeFiles/bench_fig11_missrates.dir/bench_fig11_missrates.cc.o"
+  "CMakeFiles/bench_fig11_missrates.dir/bench_fig11_missrates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

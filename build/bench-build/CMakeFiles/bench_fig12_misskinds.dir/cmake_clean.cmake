@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_misskinds"
+  "../bench/bench_fig12_misskinds.pdb"
+  "CMakeFiles/bench_fig12_misskinds.dir/bench_fig12_misskinds.cc.o"
+  "CMakeFiles/bench_fig12_misskinds.dir/bench_fig12_misskinds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_misskinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_exectime"
+  "../bench/bench_fig14_exectime.pdb"
+  "CMakeFiles/bench_fig14_exectime.dir/bench_fig14_exectime.cc.o"
+  "CMakeFiles/bench_fig14_exectime.dir/bench_fig14_exectime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_storage"
+  "../bench/bench_fig5_storage.pdb"
+  "CMakeFiles/bench_fig5_storage.dir/bench_fig5_storage.cc.o"
+  "CMakeFiles/bench_fig5_storage.dir/bench_fig5_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

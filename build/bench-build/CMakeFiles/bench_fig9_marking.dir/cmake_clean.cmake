@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_marking"
+  "../bench/bench_fig9_marking.pdb"
+  "CMakeFiles/bench_fig9_marking.dir/bench_fig9_marking.cc.o"
+  "CMakeFiles/bench_fig9_marking.dir/bench_fig9_marking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_marking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_p1_simspeed"
+  "../bench/bench_p1_simspeed.pdb"
+  "CMakeFiles/bench_p1_simspeed.dir/bench_p1_simspeed.cc.o"
+  "CMakeFiles/bench_p1_simspeed.dir/bench_p1_simspeed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

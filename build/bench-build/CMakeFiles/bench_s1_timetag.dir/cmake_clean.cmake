@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s1_timetag"
+  "../bench/bench_s1_timetag.pdb"
+  "CMakeFiles/bench_s1_timetag.dir/bench_s1_timetag.cc.o"
+  "CMakeFiles/bench_s1_timetag.dir/bench_s1_timetag.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s1_timetag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

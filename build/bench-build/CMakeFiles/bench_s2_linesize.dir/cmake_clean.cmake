@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s2_linesize"
+  "../bench/bench_s2_linesize.pdb"
+  "CMakeFiles/bench_s2_linesize.dir/bench_s2_linesize.cc.o"
+  "CMakeFiles/bench_s2_linesize.dir/bench_s2_linesize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s2_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

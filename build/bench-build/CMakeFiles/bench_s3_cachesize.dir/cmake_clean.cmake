@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s3_cachesize"
+  "../bench/bench_s3_cachesize.pdb"
+  "CMakeFiles/bench_s3_cachesize.dir/bench_s3_cachesize.cc.o"
+  "CMakeFiles/bench_s3_cachesize.dir/bench_s3_cachesize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s3_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

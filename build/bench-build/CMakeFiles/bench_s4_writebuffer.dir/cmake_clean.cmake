@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s4_writebuffer"
+  "../bench/bench_s4_writebuffer.pdb"
+  "CMakeFiles/bench_s4_writebuffer.dir/bench_s4_writebuffer.cc.o"
+  "CMakeFiles/bench_s4_writebuffer.dir/bench_s4_writebuffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s4_writebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s5_migration"
+  "../bench/bench_s5_migration.pdb"
+  "CMakeFiles/bench_s5_migration.dir/bench_s5_migration.cc.o"
+  "CMakeFiles/bench_s5_migration.dir/bench_s5_migration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s5_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s6_procs"
+  "../bench/bench_s6_procs.pdb"
+  "CMakeFiles/bench_s6_procs.dir/bench_s6_procs.cc.o"
+  "CMakeFiles/bench_s6_procs.dir/bench_s6_procs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s6_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

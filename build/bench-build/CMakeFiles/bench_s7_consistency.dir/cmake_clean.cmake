@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s7_consistency"
+  "../bench/bench_s7_consistency.pdb"
+  "CMakeFiles/bench_s7_consistency.dir/bench_s7_consistency.cc.o"
+  "CMakeFiles/bench_s7_consistency.dir/bench_s7_consistency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s7_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

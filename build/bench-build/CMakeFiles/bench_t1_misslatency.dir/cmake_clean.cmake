@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t1_misslatency"
+  "../bench/bench_t1_misslatency.pdb"
+  "CMakeFiles/bench_t1_misslatency.dir/bench_t1_misslatency.cc.o"
+  "CMakeFiles/bench_t1_misslatency.dir/bench_t1_misslatency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_misslatency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

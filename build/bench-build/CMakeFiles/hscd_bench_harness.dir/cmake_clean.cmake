@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hscd_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/hscd_bench_harness.dir/harness.cc.o.d"
+  "libhscd_bench_harness.a"
+  "libhscd_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hscd_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/compiler_explorer.cpp" "examples/CMakeFiles/compiler_explorer.dir/compiler_explorer.cpp.o" "gcc" "examples/CMakeFiles/compiler_explorer.dir/compiler_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hscd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hscd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/hscd_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/hscd_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hscd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hscd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/hscd_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doacross.dir/doacross.cpp.o"
+  "CMakeFiles/doacross.dir/doacross.cpp.o.d"
+  "doacross"
+  "doacross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doacross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

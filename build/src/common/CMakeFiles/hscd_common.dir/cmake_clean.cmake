@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hscd_common.dir/config.cc.o"
+  "CMakeFiles/hscd_common.dir/config.cc.o.d"
+  "CMakeFiles/hscd_common.dir/log.cc.o"
+  "CMakeFiles/hscd_common.dir/log.cc.o.d"
+  "CMakeFiles/hscd_common.dir/stats.cc.o"
+  "CMakeFiles/hscd_common.dir/stats.cc.o.d"
+  "CMakeFiles/hscd_common.dir/strutil.cc.o"
+  "CMakeFiles/hscd_common.dir/strutil.cc.o.d"
+  "CMakeFiles/hscd_common.dir/table.cc.o"
+  "CMakeFiles/hscd_common.dir/table.cc.o.d"
+  "libhscd_common.a"
+  "libhscd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hscd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/hscd_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/hscd_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/epoch_graph.cc" "src/compiler/CMakeFiles/hscd_compiler.dir/epoch_graph.cc.o" "gcc" "src/compiler/CMakeFiles/hscd_compiler.dir/epoch_graph.cc.o.d"
+  "/root/repo/src/compiler/marking.cc" "src/compiler/CMakeFiles/hscd_compiler.dir/marking.cc.o" "gcc" "src/compiler/CMakeFiles/hscd_compiler.dir/marking.cc.o.d"
+  "/root/repo/src/compiler/secbuild.cc" "src/compiler/CMakeFiles/hscd_compiler.dir/secbuild.cc.o" "gcc" "src/compiler/CMakeFiles/hscd_compiler.dir/secbuild.cc.o.d"
+  "/root/repo/src/compiler/section.cc" "src/compiler/CMakeFiles/hscd_compiler.dir/section.cc.o" "gcc" "src/compiler/CMakeFiles/hscd_compiler.dir/section.cc.o.d"
+  "/root/repo/src/compiler/summary.cc" "src/compiler/CMakeFiles/hscd_compiler.dir/summary.cc.o" "gcc" "src/compiler/CMakeFiles/hscd_compiler.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hir/CMakeFiles/hscd_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hscd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

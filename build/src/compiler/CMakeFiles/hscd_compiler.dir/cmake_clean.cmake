@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hscd_compiler.dir/analysis.cc.o"
+  "CMakeFiles/hscd_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/hscd_compiler.dir/epoch_graph.cc.o"
+  "CMakeFiles/hscd_compiler.dir/epoch_graph.cc.o.d"
+  "CMakeFiles/hscd_compiler.dir/marking.cc.o"
+  "CMakeFiles/hscd_compiler.dir/marking.cc.o.d"
+  "CMakeFiles/hscd_compiler.dir/secbuild.cc.o"
+  "CMakeFiles/hscd_compiler.dir/secbuild.cc.o.d"
+  "CMakeFiles/hscd_compiler.dir/section.cc.o"
+  "CMakeFiles/hscd_compiler.dir/section.cc.o.d"
+  "CMakeFiles/hscd_compiler.dir/summary.cc.o"
+  "CMakeFiles/hscd_compiler.dir/summary.cc.o.d"
+  "libhscd_compiler.a"
+  "libhscd_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hscd_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhscd_compiler.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for hscd_compiler.
+# This may be replaced when dependencies are built.

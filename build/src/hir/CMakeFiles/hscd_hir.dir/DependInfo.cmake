@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hir/builder.cc" "src/hir/CMakeFiles/hscd_hir.dir/builder.cc.o" "gcc" "src/hir/CMakeFiles/hscd_hir.dir/builder.cc.o.d"
+  "/root/repo/src/hir/expr.cc" "src/hir/CMakeFiles/hscd_hir.dir/expr.cc.o" "gcc" "src/hir/CMakeFiles/hscd_hir.dir/expr.cc.o.d"
+  "/root/repo/src/hir/printer.cc" "src/hir/CMakeFiles/hscd_hir.dir/printer.cc.o" "gcc" "src/hir/CMakeFiles/hscd_hir.dir/printer.cc.o.d"
+  "/root/repo/src/hir/program.cc" "src/hir/CMakeFiles/hscd_hir.dir/program.cc.o" "gcc" "src/hir/CMakeFiles/hscd_hir.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hscd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

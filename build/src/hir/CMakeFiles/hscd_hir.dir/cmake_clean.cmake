@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hscd_hir.dir/builder.cc.o"
+  "CMakeFiles/hscd_hir.dir/builder.cc.o.d"
+  "CMakeFiles/hscd_hir.dir/expr.cc.o"
+  "CMakeFiles/hscd_hir.dir/expr.cc.o.d"
+  "CMakeFiles/hscd_hir.dir/printer.cc.o"
+  "CMakeFiles/hscd_hir.dir/printer.cc.o.d"
+  "CMakeFiles/hscd_hir.dir/program.cc.o"
+  "CMakeFiles/hscd_hir.dir/program.cc.o.d"
+  "libhscd_hir.a"
+  "libhscd_hir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hscd_hir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

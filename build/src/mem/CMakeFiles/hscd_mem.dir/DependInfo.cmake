@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/base_scheme.cc" "src/mem/CMakeFiles/hscd_mem.dir/base_scheme.cc.o" "gcc" "src/mem/CMakeFiles/hscd_mem.dir/base_scheme.cc.o.d"
+  "/root/repo/src/mem/coherence.cc" "src/mem/CMakeFiles/hscd_mem.dir/coherence.cc.o" "gcc" "src/mem/CMakeFiles/hscd_mem.dir/coherence.cc.o.d"
+  "/root/repo/src/mem/directory_scheme.cc" "src/mem/CMakeFiles/hscd_mem.dir/directory_scheme.cc.o" "gcc" "src/mem/CMakeFiles/hscd_mem.dir/directory_scheme.cc.o.d"
+  "/root/repo/src/mem/machine_config.cc" "src/mem/CMakeFiles/hscd_mem.dir/machine_config.cc.o" "gcc" "src/mem/CMakeFiles/hscd_mem.dir/machine_config.cc.o.d"
+  "/root/repo/src/mem/sc_scheme.cc" "src/mem/CMakeFiles/hscd_mem.dir/sc_scheme.cc.o" "gcc" "src/mem/CMakeFiles/hscd_mem.dir/sc_scheme.cc.o.d"
+  "/root/repo/src/mem/storage_model.cc" "src/mem/CMakeFiles/hscd_mem.dir/storage_model.cc.o" "gcc" "src/mem/CMakeFiles/hscd_mem.dir/storage_model.cc.o.d"
+  "/root/repo/src/mem/tpi_scheme.cc" "src/mem/CMakeFiles/hscd_mem.dir/tpi_scheme.cc.o" "gcc" "src/mem/CMakeFiles/hscd_mem.dir/tpi_scheme.cc.o.d"
+  "/root/repo/src/mem/vc_scheme.cc" "src/mem/CMakeFiles/hscd_mem.dir/vc_scheme.cc.o" "gcc" "src/mem/CMakeFiles/hscd_mem.dir/vc_scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/hscd_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/hscd_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hscd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/hscd_hir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hscd_mem.dir/base_scheme.cc.o"
+  "CMakeFiles/hscd_mem.dir/base_scheme.cc.o.d"
+  "CMakeFiles/hscd_mem.dir/coherence.cc.o"
+  "CMakeFiles/hscd_mem.dir/coherence.cc.o.d"
+  "CMakeFiles/hscd_mem.dir/directory_scheme.cc.o"
+  "CMakeFiles/hscd_mem.dir/directory_scheme.cc.o.d"
+  "CMakeFiles/hscd_mem.dir/machine_config.cc.o"
+  "CMakeFiles/hscd_mem.dir/machine_config.cc.o.d"
+  "CMakeFiles/hscd_mem.dir/sc_scheme.cc.o"
+  "CMakeFiles/hscd_mem.dir/sc_scheme.cc.o.d"
+  "CMakeFiles/hscd_mem.dir/storage_model.cc.o"
+  "CMakeFiles/hscd_mem.dir/storage_model.cc.o.d"
+  "CMakeFiles/hscd_mem.dir/tpi_scheme.cc.o"
+  "CMakeFiles/hscd_mem.dir/tpi_scheme.cc.o.d"
+  "CMakeFiles/hscd_mem.dir/vc_scheme.cc.o"
+  "CMakeFiles/hscd_mem.dir/vc_scheme.cc.o.d"
+  "libhscd_mem.a"
+  "libhscd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hscd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

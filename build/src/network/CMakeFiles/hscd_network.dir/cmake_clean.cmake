@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hscd_network.dir/kruskal_snir.cc.o"
+  "CMakeFiles/hscd_network.dir/kruskal_snir.cc.o.d"
+  "libhscd_network.a"
+  "libhscd_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hscd_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

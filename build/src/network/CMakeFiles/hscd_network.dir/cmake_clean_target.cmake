@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhscd_network.a"
+)

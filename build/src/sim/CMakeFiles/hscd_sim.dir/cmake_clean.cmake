@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hscd_sim.dir/interp.cc.o"
+  "CMakeFiles/hscd_sim.dir/interp.cc.o.d"
+  "CMakeFiles/hscd_sim.dir/machine.cc.o"
+  "CMakeFiles/hscd_sim.dir/machine.cc.o.d"
+  "CMakeFiles/hscd_sim.dir/trace.cc.o"
+  "CMakeFiles/hscd_sim.dir/trace.cc.o.d"
+  "libhscd_sim.a"
+  "libhscd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hscd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/adm.cc" "src/workloads/CMakeFiles/hscd_workloads.dir/adm.cc.o" "gcc" "src/workloads/CMakeFiles/hscd_workloads.dir/adm.cc.o.d"
+  "/root/repo/src/workloads/flo52.cc" "src/workloads/CMakeFiles/hscd_workloads.dir/flo52.cc.o" "gcc" "src/workloads/CMakeFiles/hscd_workloads.dir/flo52.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/workloads/CMakeFiles/hscd_workloads.dir/micro.cc.o" "gcc" "src/workloads/CMakeFiles/hscd_workloads.dir/micro.cc.o.d"
+  "/root/repo/src/workloads/ocean.cc" "src/workloads/CMakeFiles/hscd_workloads.dir/ocean.cc.o" "gcc" "src/workloads/CMakeFiles/hscd_workloads.dir/ocean.cc.o.d"
+  "/root/repo/src/workloads/qcd2.cc" "src/workloads/CMakeFiles/hscd_workloads.dir/qcd2.cc.o" "gcc" "src/workloads/CMakeFiles/hscd_workloads.dir/qcd2.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/hscd_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/hscd_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/spec77.cc" "src/workloads/CMakeFiles/hscd_workloads.dir/spec77.cc.o" "gcc" "src/workloads/CMakeFiles/hscd_workloads.dir/spec77.cc.o.d"
+  "/root/repo/src/workloads/trfd.cc" "src/workloads/CMakeFiles/hscd_workloads.dir/trfd.cc.o" "gcc" "src/workloads/CMakeFiles/hscd_workloads.dir/trfd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hir/CMakeFiles/hscd_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hscd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hscd_workloads.dir/adm.cc.o"
+  "CMakeFiles/hscd_workloads.dir/adm.cc.o.d"
+  "CMakeFiles/hscd_workloads.dir/flo52.cc.o"
+  "CMakeFiles/hscd_workloads.dir/flo52.cc.o.d"
+  "CMakeFiles/hscd_workloads.dir/micro.cc.o"
+  "CMakeFiles/hscd_workloads.dir/micro.cc.o.d"
+  "CMakeFiles/hscd_workloads.dir/ocean.cc.o"
+  "CMakeFiles/hscd_workloads.dir/ocean.cc.o.d"
+  "CMakeFiles/hscd_workloads.dir/qcd2.cc.o"
+  "CMakeFiles/hscd_workloads.dir/qcd2.cc.o.d"
+  "CMakeFiles/hscd_workloads.dir/registry.cc.o"
+  "CMakeFiles/hscd_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/hscd_workloads.dir/spec77.cc.o"
+  "CMakeFiles/hscd_workloads.dir/spec77.cc.o.d"
+  "CMakeFiles/hscd_workloads.dir/trfd.cc.o"
+  "CMakeFiles/hscd_workloads.dir/trfd.cc.o.d"
+  "libhscd_workloads.a"
+  "libhscd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hscd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hscd_soak.dir/soak_main.cc.o"
+  "CMakeFiles/hscd_soak.dir/soak_main.cc.o.d"
+  "hscd_soak"
+  "hscd_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hscd_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

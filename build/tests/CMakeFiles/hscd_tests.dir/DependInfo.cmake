@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ablation.cc" "tests/CMakeFiles/hscd_tests.dir/test_ablation.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_ablation.cc.o.d"
+  "/root/repo/tests/test_bitutil.cc" "tests/CMakeFiles/hscd_tests.dir/test_bitutil.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_bitutil.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/hscd_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/hscd_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_edge_machines.cc" "tests/CMakeFiles/hscd_tests.dir/test_edge_machines.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_edge_machines.cc.o.d"
+  "/root/repo/tests/test_epoch_graph.cc" "tests/CMakeFiles/hscd_tests.dir/test_epoch_graph.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_epoch_graph.cc.o.d"
+  "/root/repo/tests/test_expr.cc" "tests/CMakeFiles/hscd_tests.dir/test_expr.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_expr.cc.o.d"
+  "/root/repo/tests/test_fuzz_schemes.cc" "tests/CMakeFiles/hscd_tests.dir/test_fuzz_schemes.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_fuzz_schemes.cc.o.d"
+  "/root/repo/tests/test_hir.cc" "tests/CMakeFiles/hscd_tests.dir/test_hir.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_hir.cc.o.d"
+  "/root/repo/tests/test_interp.cc" "tests/CMakeFiles/hscd_tests.dir/test_interp.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_interp.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/hscd_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_marking.cc" "tests/CMakeFiles/hscd_tests.dir/test_marking.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_marking.cc.o.d"
+  "/root/repo/tests/test_misc2.cc" "tests/CMakeFiles/hscd_tests.dir/test_misc2.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_misc2.cc.o.d"
+  "/root/repo/tests/test_models.cc" "tests/CMakeFiles/hscd_tests.dir/test_models.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_models.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/hscd_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_property.cc" "tests/CMakeFiles/hscd_tests.dir/test_property.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_property.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/hscd_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_schemes.cc" "tests/CMakeFiles/hscd_tests.dir/test_schemes.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_schemes.cc.o.d"
+  "/root/repo/tests/test_schemes2.cc" "tests/CMakeFiles/hscd_tests.dir/test_schemes2.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_schemes2.cc.o.d"
+  "/root/repo/tests/test_section.cc" "tests/CMakeFiles/hscd_tests.dir/test_section.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_section.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/hscd_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_storage.cc" "tests/CMakeFiles/hscd_tests.dir/test_storage.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_storage.cc.o.d"
+  "/root/repo/tests/test_strutil.cc" "tests/CMakeFiles/hscd_tests.dir/test_strutil.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_strutil.cc.o.d"
+  "/root/repo/tests/test_summary.cc" "tests/CMakeFiles/hscd_tests.dir/test_summary.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_summary.cc.o.d"
+  "/root/repo/tests/test_symbolic.cc" "tests/CMakeFiles/hscd_tests.dir/test_symbolic.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_symbolic.cc.o.d"
+  "/root/repo/tests/test_sync.cc" "tests/CMakeFiles/hscd_tests.dir/test_sync.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_sync.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/hscd_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/hscd_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_umbrella.cc" "tests/CMakeFiles/hscd_tests.dir/test_umbrella.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_umbrella.cc.o.d"
+  "/root/repo/tests/test_vc.cc" "tests/CMakeFiles/hscd_tests.dir/test_vc.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_vc.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/hscd_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/hscd_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hscd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/hscd_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/hscd_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hscd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/hscd_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hscd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hscd_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
