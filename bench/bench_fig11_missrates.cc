@@ -5,17 +5,20 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "harness.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace hscd;
 using namespace hscd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "F11",
                 "read miss rates per scheme (paper Figure 11)", cfg);
@@ -23,17 +26,26 @@ main()
     const SchemeKind schemes[] = {SchemeKind::Base, SchemeKind::SC,
                                   SchemeKind::VC, SchemeKind::TPI,
                                   SchemeKind::HW};
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "F11");
+    for (const std::string &name : names)
+        for (SchemeKind k : schemes)
+            sweep.add(name, makeConfig(k));
+    sweep.run();
+    sweep.requireAllSound();
+
     TextTable t;
     t.col("benchmark", TextTable::Align::Left);
     for (SchemeKind k : schemes)
         t.col(std::string(schemeName(k)) + " %");
     t.col("TPI/HW");
-    for (const std::string &name : workloads::benchmarkNames()) {
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
         t.row().cell(name);
         double tpi = 0, hw = 0;
         for (SchemeKind k : schemes) {
-            sim::RunResult r = runBenchmark(name, makeConfig(k));
-            requireSound(r, name);
+            const sim::RunResult &r = sweep[cell++];
             t.cell(100.0 * r.readMissRate, 2);
             if (k == SchemeKind::TPI)
                 tpi = r.readMissRate;
@@ -46,5 +58,6 @@ main()
     std::cout << "\nBASE misses on every shared read by construction; "
                  "TPI tracks HW within a small factor while SC pays for "
                  "every marked read (paper's Figure 11 shape).\n";
+    sweep.finish(std::cout);
     return 0;
 }

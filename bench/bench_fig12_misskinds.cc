@@ -8,9 +8,11 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "harness.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace hscd;
@@ -44,11 +46,23 @@ emit(TextTable &t, const std::string &name, SchemeKind k,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "F12",
                 "read miss decomposition (percent of read misses)", cfg);
+
+    const SchemeKind schemes[] = {SchemeKind::SC, SchemeKind::TPI,
+                                  SchemeKind::HW};
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "F12");
+    for (const std::string &name : names)
+        for (SchemeKind k : schemes)
+            sweep.add(name, makeConfig(k));
+    sweep.run();
+    sweep.requireAllSound();
 
     TextTable t;
     t.col("benchmark", TextTable::Align::Left)
@@ -61,19 +75,16 @@ main()
         .col("consv%")
         .col("tag%")
         .col("unnecessary%");
-    for (const std::string &name : workloads::benchmarkNames()) {
-        for (SchemeKind k :
-             {SchemeKind::SC, SchemeKind::TPI, SchemeKind::HW})
-        {
-            sim::RunResult r = runBenchmark(name, makeConfig(k));
-            requireSound(r, name);
-            emit(t, name, k, r);
-        }
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
+        for (SchemeKind k : schemes)
+            emit(t, name, k, sweep[cell++]);
         t.rule();
     }
     t.print(std::cout);
     std::cout << "\nunnecessary = false sharing (HW) + conservative "
                  "refetches (SC/TPI); the paper finds the two schemes "
                  "pay comparable unnecessary-miss taxes.\n";
+    sweep.finish(std::cout);
     return 0;
 }

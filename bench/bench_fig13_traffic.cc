@@ -8,22 +8,42 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace hscd;
 using namespace hscd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "F13",
                 "network traffic breakdown (words per 100 references)",
                 cfg);
+
+    const SchemeKind schemes[] = {SchemeKind::Base, SchemeKind::SC,
+                                  SchemeKind::TPI, SchemeKind::HW};
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "F13");
+    for (const std::string &name : names)
+        for (SchemeKind k : schemes)
+            sweep.add(name, makeConfig(k));
+    // The TRFD write-buffer ablation rides along in the same sweep.
+    MachineConfig coal = makeConfig(SchemeKind::TPI);
+    coal.writeBufferAsCache = true;
+    std::size_t plainCell =
+        sweep.add("TRFD/TPI/plain-wb", "TRFD", makeConfig(SchemeKind::TPI));
+    std::size_t coalCell = sweep.add("TRFD/TPI/coalescing-wb", "TRFD", coal);
+    sweep.run();
+    sweep.requireAllSound();
 
     TextTable t;
     t.col("benchmark", TextTable::Align::Left)
@@ -33,12 +53,10 @@ main()
         .col("wback")
         .col("coher")
         .col("total");
-    for (const std::string &name : workloads::benchmarkNames()) {
-        for (SchemeKind k : {SchemeKind::Base, SchemeKind::SC,
-                             SchemeKind::TPI, SchemeKind::HW})
-        {
-            sim::RunResult r = runBenchmark(name, makeConfig(k));
-            requireSound(r, name);
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
+        for (SchemeKind k : schemes) {
+            const sim::RunResult &r = sweep[cell++];
             double refs = double(r.reads + r.writes) / 100.0;
             double rd = double(r.readWords) / refs;
             double wr = double(r.writeWords) / refs;
@@ -63,13 +81,8 @@ main()
     w.col("TPI variant", TextTable::Align::Left)
         .col("write packets")
         .col("reduction");
-    MachineConfig plain = makeConfig(SchemeKind::TPI);
-    MachineConfig coal = makeConfig(SchemeKind::TPI);
-    coal.writeBufferAsCache = true;
-    sim::RunResult rp = runBenchmark("TRFD", plain);
-    sim::RunResult rc = runBenchmark("TRFD", coal);
-    requireSound(rp, "TRFD");
-    requireSound(rc, "TRFD");
+    const sim::RunResult &rp = sweep[plainCell];
+    const sim::RunResult &rc = sweep[coalCell];
     w.row().cell("plain write buffer").cell(rp.writePackets).cell("-");
     w.row()
         .cell("write buffer as cache")
@@ -78,5 +91,6 @@ main()
                                      double(rc.writePackets ? rc.writePackets
                                                             : 1)));
     w.print(std::cout);
+    sweep.finish(std::cout);
     return 0;
 }

@@ -7,21 +7,36 @@
 
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace hscd;
 using namespace hscd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "F14",
                 "normalized parallel execution time (HW = 1.0)", cfg);
+
+    const SchemeKind schemes[] = {SchemeKind::Base, SchemeKind::SC,
+                                  SchemeKind::VC, SchemeKind::TPI,
+                                  SchemeKind::HW};
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "F14");
+    for (const std::string &name : names)
+        for (SchemeKind k : schemes)
+            sweep.add(name, makeConfig(k));
+    sweep.run();
+    sweep.requireAllSound();
 
     TextTable t;
     t.col("benchmark", TextTable::Align::Left)
@@ -33,16 +48,13 @@ main()
         .col("HW cycles");
     double worst = 0, sum = 0;
     int n = 0;
-    for (const std::string &name : workloads::benchmarkNames()) {
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
         Cycles hw = 0;
         double cells[5] = {0, 0, 0, 0, 0};
         int idx = 0;
-        for (SchemeKind k : {SchemeKind::Base, SchemeKind::SC,
-                             SchemeKind::VC, SchemeKind::TPI,
-                             SchemeKind::HW})
-        {
-            sim::RunResult r = runBenchmark(name, makeConfig(k));
-            requireSound(r, name);
+        for (SchemeKind k : schemes) {
+            const sim::RunResult &r = sweep[cell++];
             if (k == SchemeKind::HW)
                 hw = r.cycles;
             cells[idx++] = double(r.cycles);
@@ -61,5 +73,6 @@ main()
         "\nTPI/HW geomean-ish average %.2f, worst %.2f - the HSCD "
         "scheme tracks the directory without directory storage.\n",
         sum / n, worst);
+    sweep.finish(std::cout);
     return 0;
 }

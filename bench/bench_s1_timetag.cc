@@ -6,36 +6,51 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "harness.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace hscd;
 using namespace hscd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "S1",
                 "TPI miss rate vs timetag width (Section 4 sensitivity)",
                 cfg);
 
+    const unsigned widths[] = {2u, 3u, 4u, 8u, 16u};
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "S1");
+    for (const std::string &name : names) {
+        for (unsigned bits : widths) {
+            MachineConfig c = makeConfig(SchemeKind::TPI);
+            c.timetagBits = bits;
+            sweep.add(name + "/TPI/" + std::to_string(bits) + "b", name, c);
+        }
+    }
+    sweep.run();
+    sweep.requireAllSound();
+
     TextTable t;
     t.col("benchmark", TextTable::Align::Left);
-    for (unsigned bits : {2u, 3u, 4u, 8u, 16u})
+    for (unsigned bits : widths)
         t.col(std::to_string(bits) + "-bit %");
     t.col("resets@2b").col("cycles 2b/8b");
-    for (const std::string &name : workloads::benchmarkNames()) {
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
         t.row().cell(name);
         Counter resets2 = 0;
         Cycles cy2 = 0, cy8 = 0;
-        for (unsigned bits : {2u, 3u, 4u, 8u, 16u}) {
-            MachineConfig c = makeConfig(SchemeKind::TPI);
-            c.timetagBits = bits;
-            sim::RunResult r = runBenchmark(name, c);
-            requireSound(r, name);
+        for (unsigned bits : widths) {
+            const sim::RunResult &r = sweep[cell++];
             t.cell(100.0 * r.readMissRate, 2);
             if (bits == 2) {
                 resets2 = r.missTagReset;
@@ -51,5 +66,6 @@ main()
     std::cout << "\nthe 4-bit and 8-bit columns should be essentially "
                  "identical (the paper's claim); 2-bit tags pay for "
                  "frequent two-phase resets.\n";
+    sweep.finish(std::cout);
     return 0;
 }

@@ -6,20 +6,42 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "harness.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace hscd;
 using namespace hscd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "S2",
                 "line-size sweep: miss rate and false sharing", cfg);
+
+    const unsigned lines[] = {4u, 16u, 64u};
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "S2");
+    for (const std::string &name : names) {
+        for (unsigned line : lines) {
+            MachineConfig ctpi = makeConfig(SchemeKind::TPI);
+            ctpi.lineBytes = line;
+            MachineConfig chw = makeConfig(SchemeKind::HW);
+            chw.lineBytes = line;
+            sweep.add(name + "/TPI/" + std::to_string(line) + "B", name,
+                      ctpi);
+            sweep.add(name + "/HW/" + std::to_string(line) + "B", name,
+                      chw);
+        }
+    }
+    sweep.run();
+    sweep.requireAllSound();
 
     TextTable t;
     t.col("benchmark", TextTable::Align::Left)
@@ -28,16 +50,11 @@ main()
         .col("HW miss%")
         .col("HW false%")
         .col("TPI falseShare");
-    for (const std::string &name : workloads::benchmarkNames()) {
-        for (unsigned line : {4u, 16u, 64u}) {
-            MachineConfig ctpi = makeConfig(SchemeKind::TPI);
-            ctpi.lineBytes = line;
-            MachineConfig chw = makeConfig(SchemeKind::HW);
-            chw.lineBytes = line;
-            sim::RunResult rt = runBenchmark(name, ctpi);
-            sim::RunResult rh = runBenchmark(name, chw);
-            requireSound(rt, name);
-            requireSound(rh, name);
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
+        for (unsigned line : lines) {
+            const sim::RunResult &rt = sweep[cell++];
+            const sim::RunResult &rh = sweep[cell++];
             double hw_false =
                 rh.readMisses ? 100.0 * double(rh.missFalseShare) /
                                     double(rh.readMisses)
@@ -55,5 +72,6 @@ main()
     t.print(std::cout);
     std::cout << "\nTPI's false-sharing column must be identically zero "
                  "(coherence is per word).\n";
+    sweep.finish(std::cout);
     return 0;
 }

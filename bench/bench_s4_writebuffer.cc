@@ -7,21 +7,37 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace hscd;
 using namespace hscd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "S4",
                 "write buffer ablation: plain vs cache-organized", cfg);
+
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "S4");
+    for (const std::string &name : names) {
+        MachineConfig plain = makeConfig(SchemeKind::TPI);
+        MachineConfig coal = makeConfig(SchemeKind::TPI);
+        coal.writeBufferAsCache = true;
+        sweep.add(name + "/TPI/plain-wb", name, plain);
+        sweep.add(name + "/TPI/coalescing-wb", name, coal);
+    }
+    sweep.run();
+    sweep.requireAllSound();
 
     TextTable t;
     t.col("benchmark", TextTable::Align::Left)
@@ -30,14 +46,10 @@ main()
         .col("reduction")
         .col("cycles plain")
         .col("cycles coalesced");
-    for (const std::string &name : workloads::benchmarkNames()) {
-        MachineConfig plain = makeConfig(SchemeKind::TPI);
-        MachineConfig coal = makeConfig(SchemeKind::TPI);
-        coal.writeBufferAsCache = true;
-        sim::RunResult rp = runBenchmark(name, plain);
-        sim::RunResult rc = runBenchmark(name, coal);
-        requireSound(rp, name);
-        requireSound(rc, name);
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
+        const sim::RunResult &rp = sweep[cell++];
+        const sim::RunResult &rc = sweep[cell++];
         t.row()
             .cell(name)
             .cell(rp.writePackets)
@@ -52,5 +64,6 @@ main()
     t.print(std::cout);
     std::cout << "\nTRFD should show by far the largest reduction "
                  "(repeated accumulation into the same words).\n";
+    sweep.finish(std::cout);
     return 0;
 }

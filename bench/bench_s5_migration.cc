@@ -9,10 +9,12 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "harness.hh"
 #include "hir/builder.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 namespace {
@@ -49,11 +51,57 @@ using namespace hscd;
 using namespace hscd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "S5",
                 "scheduling and task migration (paper Section 5)", cfg);
+
+    const SchedPolicy policies[] = {SchedPolicy::Block, SchedPolicy::Cyclic,
+                                    SchedPolicy::Dynamic};
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "S5");
+    for (const std::string &name : names) {
+        for (SchedPolicy s : policies) {
+            MachineConfig c = makeConfig(SchemeKind::TPI);
+            c.sched = s;
+            c.dynamicChunk = 2;
+            sweep.add(name, c);
+        }
+    }
+
+    // (b) cells: the serial-reuse demo compiled with and without the
+    // affinity assumption, at migration rates 0 and 1. The compiled
+    // programs live in main() and outlive the sweep.
+    std::vector<compiler::CompiledProgram> demo;
+    for (bool affinity : {true, false}) {
+        compiler::AnalysisOptions aopts;
+        aopts.assumeSerialAffinity = affinity;
+        demo.push_back(compiler::compileProgram(serialReuseDemo(), aopts));
+    }
+    struct DemoCell
+    {
+        bool affinity;
+        double rate;
+        std::size_t cell;
+    };
+    std::vector<DemoCell> demoCells;
+    for (bool affinity : {true, false}) {
+        const compiler::CompiledProgram &cp = demo[affinity ? 0 : 1];
+        for (double rate : {0.0, 1.0}) {
+            MachineConfig c = makeConfig(SchemeKind::TPI);
+            c.procs = 8;
+            c.migrationRate = rate;
+            std::size_t idx = sweep.addCustom(
+                csprintf("serial-reuse/%s/rate=%.1f",
+                         affinity ? "affinity" : "migration-safe", rate),
+                [&cp, c] { return sim::simulate(cp, c); });
+            demoCells.push_back({affinity, rate, idx});
+        }
+    }
+    sweep.run();
 
     std::cout << "(a) DOALL schedule vs TPI Time-Read hit rate:\n";
     TextTable t;
@@ -61,15 +109,12 @@ main()
         .col("block hit%")
         .col("cyclic hit%")
         .col("dynamic hit%");
-    for (const std::string &name : workloads::benchmarkNames()) {
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
         t.row().cell(name);
-        for (SchedPolicy s : {SchedPolicy::Block, SchedPolicy::Cyclic,
-                              SchedPolicy::Dynamic})
-        {
-            MachineConfig c = makeConfig(SchemeKind::TPI);
-            c.sched = s;
-            c.dynamicChunk = 2;
-            sim::RunResult r = runBenchmark(name, c);
+        for (SchedPolicy s : policies) {
+            (void)s;
+            const sim::RunResult &r = sweep[cell++];
             requireSound(r, name);
             double hit = r.timeReads ? 100.0 * double(r.timeReadHits) /
                                            double(r.timeReads)
@@ -87,31 +132,22 @@ main()
         .col("stale reads")
         .col("time-reads")
         .col("cycles");
-    for (bool affinity : {true, false}) {
-        for (double rate : {0.0, 1.0}) {
-            compiler::AnalysisOptions opts;
-            opts.assumeSerialAffinity = affinity;
-            compiler::CompiledProgram cp =
-                compiler::compileProgram(serialReuseDemo(), opts);
-            MachineConfig c = makeConfig(SchemeKind::TPI);
-            c.procs = 8;
-            c.migrationRate = rate;
-            sim::RunResult r = sim::simulate(cp, c);
-            m.row()
-                .cell(affinity ? "affinity assumed" : "migration-safe")
-                .cell(rate, 1)
-                .cell(r.oracleViolations)
-                .cell(r.timeReads)
-                .cell(r.cycles);
-            if (!affinity && r.oracleViolations) {
-                warn("migration-safe compilation must be coherent");
-                return 2;
-            }
-            if (affinity && rate == 0.0 && r.oracleViolations) {
-                warn("affinity compilation must be sound without "
-                     "migration");
-                return 2;
-            }
+    for (const DemoCell &dc : demoCells) {
+        const sim::RunResult &r = sweep[dc.cell];
+        m.row()
+            .cell(dc.affinity ? "affinity assumed" : "migration-safe")
+            .cell(dc.rate, 1)
+            .cell(r.oracleViolations)
+            .cell(r.timeReads)
+            .cell(r.cycles);
+        if (!dc.affinity && r.oracleViolations) {
+            warn("migration-safe compilation must be coherent");
+            return 2;
+        }
+        if (dc.affinity && dc.rate == 0.0 && r.oracleViolations) {
+            warn("affinity compilation must be sound without "
+                 "migration");
+            return 2;
         }
     }
     m.print(std::cout);
@@ -119,5 +155,6 @@ main()
                  "assumption must be dropped when the runtime migrates "
                  "serial tasks; the migration-safe row stays at zero "
                  "stale reads.\n";
+    sweep.finish(std::cout);
     return 0;
 }

@@ -8,19 +8,39 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "harness.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace hscd;
 using namespace hscd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "S6", "processor-count scaling", cfg);
+
+    const unsigned counts[] = {4u, 16u, 64u};
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "S6");
+    for (const std::string &name : names) {
+        for (unsigned procs : counts) {
+            MachineConfig ct = makeConfig(SchemeKind::TPI);
+            ct.procs = procs;
+            MachineConfig ch = makeConfig(SchemeKind::HW);
+            ch.procs = procs;
+            sweep.add(name + "/TPI/p" + std::to_string(procs), name, ct);
+            sweep.add(name + "/HW/p" + std::to_string(procs), name, ch);
+        }
+    }
+    sweep.run();
+    sweep.requireAllSound();
 
     TextTable t;
     t.col("benchmark", TextTable::Align::Left)
@@ -30,17 +50,12 @@ main()
         .col("TPI/HW")
         .col("TPI speedup")
         .col("net load");
-    for (const std::string &name : workloads::benchmarkNames()) {
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
         Cycles tpi_base = 0;
-        for (unsigned procs : {4u, 16u, 64u}) {
-            MachineConfig ct = makeConfig(SchemeKind::TPI);
-            ct.procs = procs;
-            MachineConfig ch = makeConfig(SchemeKind::HW);
-            ch.procs = procs;
-            sim::RunResult rt = runBenchmark(name, ct);
-            sim::RunResult rh = runBenchmark(name, ch);
-            requireSound(rt, name);
-            requireSound(rh, name);
+        for (unsigned procs : counts) {
+            const sim::RunResult &rt = sweep[cell++];
+            const sim::RunResult &rh = sweep[cell++];
             if (procs == 4)
                 tpi_base = rt.cycles;
             t.row()
@@ -59,5 +74,6 @@ main()
                  "the processor count). TPI/HW staying near 1.0 at 64 "
                  "procs, with no directory DRAM, is the paper's "
                  "large-scale argument.\n";
+    sweep.finish(std::cout);
     return 0;
 }

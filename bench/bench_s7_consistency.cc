@@ -9,37 +9,52 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "harness.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace hscd;
 using namespace hscd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "S7",
                 "sequential/weak consistency execution-time ratio", cfg);
 
-    TextTable t;
-    t.col("benchmark", TextTable::Align::Left);
     const SchemeKind schemes[] = {SchemeKind::SC, SchemeKind::VC,
                                   SchemeKind::TPI, SchemeKind::HW};
-    for (SchemeKind k : schemes)
-        t.col(std::string(schemeName(k)) + " SC/WC");
-    for (const std::string &name : workloads::benchmarkNames()) {
-        t.row().cell(name);
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "S7");
+    for (const std::string &name : names) {
         for (SchemeKind k : schemes) {
             MachineConfig weak = makeConfig(k);
             MachineConfig seq = makeConfig(k);
             seq.sequentialConsistency = true;
-            sim::RunResult rw = runBenchmark(name, weak);
-            sim::RunResult rs = runBenchmark(name, seq);
-            requireSound(rw, name);
-            requireSound(rs, name);
+            sweep.add(name + "/" + schemeName(k) + "/wc", name, weak);
+            sweep.add(name + "/" + schemeName(k) + "/sc", name, seq);
+        }
+    }
+    sweep.run();
+    sweep.requireAllSound();
+
+    TextTable t;
+    t.col("benchmark", TextTable::Align::Left);
+    for (SchemeKind k : schemes)
+        t.col(std::string(schemeName(k)) + " SC/WC");
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
+        t.row().cell(name);
+        for (SchemeKind k : schemes) {
+            (void)k;
+            const sim::RunResult &rw = sweep[cell++];
+            const sim::RunResult &rs = sweep[cell++];
             t.cell(double(rs.cycles) / double(rw.cycles), 2);
         }
     }
@@ -48,5 +63,6 @@ main()
                  "store under sequential consistency; the write-back "
                  "directory mostly hits in M and is the least affected - "
                  "the paper's footnote, quantified.\n";
+    sweep.finish(std::cout);
     return 0;
 }

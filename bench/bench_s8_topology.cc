@@ -8,20 +8,41 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "harness.hh"
+#include "sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace hscd;
 using namespace hscd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
     MachineConfig cfg = makeConfig(SchemeKind::TPI);
     printHeader(std::cout, "S8",
                 "MIN vs 3-D torus interconnect (64 processors)", cfg);
+
+    const std::vector<std::string> names = workloads::benchmarkNames();
+
+    Sweep sweep(opts, "S8");
+    for (const std::string &name : names) {
+        for (SchemeKind k : {SchemeKind::TPI, SchemeKind::HW}) {
+            for (Topology topo : {Topology::MIN, Topology::Torus3D}) {
+                MachineConfig cc = makeConfig(k);
+                cc.procs = 64; // higher load: contention becomes visible
+                cc.topology = topo;
+                sweep.add(name + "/" + schemeName(k) + "/" +
+                              (topo == Topology::MIN ? "min" : "torus"),
+                          name, cc);
+            }
+        }
+    }
+    sweep.run();
+    sweep.requireAllSound();
 
     TextTable t;
     t.col("benchmark", TextTable::Align::Left)
@@ -31,21 +52,12 @@ main()
         .col("HW torus")
         .col("TPI/HW min")
         .col("TPI/HW torus");
-    for (const std::string &name : workloads::benchmarkNames()) {
+    std::size_t cell = 0;
+    for (const std::string &name : names) {
         Cycles c[2][2];
-        int i = 0;
-        for (SchemeKind k : {SchemeKind::TPI, SchemeKind::HW}) {
-            int j = 0;
-            for (Topology topo : {Topology::MIN, Topology::Torus3D}) {
-                MachineConfig cc = makeConfig(k);
-                cc.procs = 64; // higher load: contention becomes visible
-                cc.topology = topo;
-                sim::RunResult r = runBenchmark(name, cc);
-                requireSound(r, name);
-                c[i][j++] = r.cycles;
-            }
-            ++i;
-        }
+        for (int i = 0; i < 2; ++i)
+            for (int j = 0; j < 2; ++j)
+                c[i][j] = sweep[cell++].cycles;
         t.row()
             .cell(name)
             .cell(c[0][0])
@@ -62,5 +74,6 @@ main()
            "model. (At P = 64 the agreement is exact by algebra: a "
            "radix-2 MIN's 6 half-discounted stages contend like the "
            "4-ary torus's 3 full-rate hops - 6*rho*(1-1/2) = 3*rho.)\n";
+    sweep.finish(std::cout);
     return 0;
 }

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "common/log.hh"
 #include "common/strutil.hh"
@@ -38,18 +40,34 @@ printHeader(std::ostream &os, const std::string &experiment,
 const compiler::CompiledProgram &
 compiledBenchmark(const std::string &name, int scale, bool affinity)
 {
+    // Insert-once, thread-safe: entries are heap-allocated and never
+    // erased, so a returned reference stays valid for the process
+    // lifetime even while other threads keep inserting. (The previous
+    // unsynchronized map raced on concurrent first-touch and could hand
+    // out references into a map mid-mutation.)
     using Key = std::tuple<std::string, int, bool>;
+    static std::mutex mtx;
     static std::map<Key, std::unique_ptr<compiler::CompiledProgram>> cache;
+
     Key key{toLower(name), scale, affinity};
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        compiler::AnalysisOptions opts;
-        opts.assumeSerialAffinity = affinity;
-        auto cp = std::make_unique<compiler::CompiledProgram>(
-            compiler::compileProgram(
-                workloads::buildBenchmark(name, scale), opts));
-        it = cache.emplace(std::move(key), std::move(cp)).first;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return *it->second;
     }
+
+    // Compile outside the lock so independent programs compile in
+    // parallel; compilation is deterministic, so if two threads race on
+    // the same key the losers' copies are equivalent and discarded.
+    compiler::AnalysisOptions opts;
+    opts.assumeSerialAffinity = affinity;
+    auto cp = std::make_unique<compiler::CompiledProgram>(
+        compiler::compileProgram(workloads::buildBenchmark(name, scale),
+                                 opts));
+
+    std::lock_guard<std::mutex> lk(mtx);
+    auto it = cache.try_emplace(std::move(key), std::move(cp)).first;
     return *it->second;
 }
 

@@ -25,13 +25,19 @@ void printHeader(std::ostream &os, const std::string &experiment,
 
 /**
  * Compile (and cache) a named Perfect-Club-like benchmark. @p affinity
- * selects the serial-affinity compilation mode.
+ * selects the serial-affinity compilation mode. Thread-safe: the cache
+ * is insert-once and returned references stay valid for the process
+ * lifetime, so sweep workers may first-touch concurrently.
  */
 const compiler::CompiledProgram &
 compiledBenchmark(const std::string &name, int scale = 2,
                   bool affinity = true);
 
-/** Run one benchmark under one configuration. */
+/**
+ * Run one benchmark under one configuration. Thread-safe and
+ * deterministic: concurrent calls simulate on independent Machines and
+ * produce the same RunResult as a serial call.
+ */
 sim::RunResult runBenchmark(const std::string &name,
                             const MachineConfig &cfg, int scale = 2,
                             bool affinity = true);

@@ -1,0 +1,260 @@
+#include "sweep.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <tuple>
+
+#include "common/log.hh"
+#include "common/parallel.hh"
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace bench {
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::cerr
+        << "usage: " << argv0 << " [--jobs N] [--json PATH]\n"
+        << "  --jobs N, -j N  run sweep cells on N threads (default: all\n"
+        << "                  hardware threads; 1 = serial). The output\n"
+        << "                  is identical at any N, modulo the trailing\n"
+        << "                  wall-clock line.\n"
+        << "  --json PATH     also write machine-readable results JSON\n"
+        << "  --help, -h      this text\n";
+    std::exit(code);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x",
+                                unsigned(static_cast<unsigned char>(c)));
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SweepOptions
+SweepOptions::parse(int argc, char **argv)
+{
+    SweepOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0] << ": " << flag
+                          << " requires an argument\n";
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else if (arg == "--jobs" || arg == "-j") {
+            const std::string v = value("--jobs");
+            char *end = nullptr;
+            unsigned long n = std::strtoul(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0') {
+                std::cerr << argv[0] << ": bad --jobs value '" << v
+                          << "'\n";
+                usage(argv[0], 2);
+            }
+            opts.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--json") {
+            opts.jsonPath = value("--json");
+        } else {
+            std::cerr << argv[0] << ": unknown argument '" << arg
+                      << "'\n";
+            usage(argv[0], 2);
+        }
+    }
+    return opts;
+}
+
+Sweep::Sweep(SweepOptions opts, std::string experiment)
+    : _opts(std::move(opts)), _experiment(std::move(experiment))
+{
+}
+
+std::size_t
+Sweep::add(const std::string &benchmark, const MachineConfig &cfg,
+           int scale, bool affinity)
+{
+    return add(benchmark + "/" + schemeName(cfg.scheme), benchmark, cfg,
+               scale, affinity);
+}
+
+std::size_t
+Sweep::add(std::string label, const std::string &benchmark,
+           const MachineConfig &cfg, int scale, bool affinity)
+{
+    hscd_assert(!_ran, "Sweep::add() after run()");
+    Cell c;
+    c.label = std::move(label);
+    c.benchmark = benchmark;
+    c.scheme = schemeName(cfg.scheme);
+    c.scale = scale;
+    c.affinity = affinity;
+    c.runCell = [benchmark, cfg, scale, affinity] {
+        return runBenchmark(benchmark, cfg, scale, affinity);
+    };
+    _cells.push_back(std::move(c));
+    return _cells.size() - 1;
+}
+
+std::size_t
+Sweep::addCustom(std::string label, std::function<sim::RunResult()> runCell)
+{
+    hscd_assert(!_ran, "Sweep::add() after run()");
+    Cell c;
+    c.label = std::move(label);
+    c.runCell = std::move(runCell);
+    _cells.push_back(std::move(c));
+    return _cells.size() - 1;
+}
+
+void
+Sweep::run()
+{
+    hscd_assert(!_ran, "Sweep::run() is single-shot");
+    _ran = true;
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Warm the compile cache serially: each distinct program compiles
+    // exactly once instead of racing first-touch compiles on the pool.
+    std::set<std::tuple<std::string, int, bool>> keys;
+    for (const Cell &c : _cells)
+        if (!c.benchmark.empty() &&
+            keys.emplace(c.benchmark, c.scale, c.affinity).second)
+            compiledBenchmark(c.benchmark, c.scale, c.affinity);
+
+    _results = parallelMap(_opts.jobs, _cells.size(), [this](std::size_t i) {
+        return _cells[i].runCell();
+    });
+
+    _wallMs = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+}
+
+const sim::RunResult &
+Sweep::operator[](std::size_t i) const
+{
+    hscd_assert(_ran && i < _results.size(), "sweep cell %d not run", i);
+    return _results[i];
+}
+
+void
+Sweep::requireAllSound() const
+{
+    for (std::size_t i = 0; i < _results.size(); ++i)
+        requireSound(_results[i], _cells[i].label);
+}
+
+void
+Sweep::finish(std::ostream &os) const
+{
+    writeJson();
+    // Deliberately the only --jobs-dependent output line.
+    os << csprintf("[sweep %s] %d cells, jobs=%d, %.0f ms\n",
+                   _experiment, _cells.size(),
+                   _opts.jobs ? _opts.jobs : hardwareJobs(), _wallMs);
+}
+
+void
+Sweep::writeJson() const
+{
+    if (_opts.jsonPath.empty())
+        return;
+    hscd_assert(_ran, "writeJson() before run()");
+    std::ofstream f(_opts.jsonPath);
+    if (!f)
+        fatal("cannot write JSON results to '%s'", _opts.jsonPath);
+
+    f << "{\n  \"experiment\": \"" << jsonEscape(_experiment) << "\",\n";
+    f << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < _cells.size(); ++i) {
+        const Cell &c = _cells[i];
+        const sim::RunResult &r = _results[i];
+        f << "    {\n";
+        f << "      \"label\": \"" << jsonEscape(c.label) << "\",\n";
+        if (!c.benchmark.empty()) {
+            f << "      \"benchmark\": \"" << jsonEscape(c.benchmark)
+              << "\",\n";
+            f << "      \"scheme\": \"" << jsonEscape(c.scheme)
+              << "\",\n";
+            f << "      \"scale\": " << c.scale << ",\n";
+            f << "      \"affinity\": " << (c.affinity ? "true" : "false")
+              << ",\n";
+        }
+        f << "      \"fingerprint\": \""
+          << csprintf("%016x", r.fingerprint()) << "\",\n";
+        f << "      \"cycles\": " << r.cycles << ",\n";
+        f << "      \"epochs\": " << r.epochs << ",\n";
+        f << "      \"parallel_epochs\": " << r.parallelEpochs << ",\n";
+        f << "      \"tasks\": " << r.tasks << ",\n";
+        f << "      \"reads\": " << r.reads << ",\n";
+        f << "      \"writes\": " << r.writes << ",\n";
+        f << "      \"read_hits\": " << r.readHits << ",\n";
+        f << "      \"read_misses\": " << r.readMisses << ",\n";
+        f << "      \"read_miss_rate\": "
+          << csprintf("%.17g", r.readMissRate) << ",\n";
+        f << "      \"avg_miss_latency\": "
+          << csprintf("%.17g", r.avgMissLatency) << ",\n";
+        f << "      \"miss_cold\": " << r.missCold << ",\n";
+        f << "      \"miss_replacement\": " << r.missReplacement << ",\n";
+        f << "      \"miss_true_share\": " << r.missTrueShare << ",\n";
+        f << "      \"miss_false_share\": " << r.missFalseShare << ",\n";
+        f << "      \"miss_conservative\": " << r.missConservative
+          << ",\n";
+        f << "      \"miss_tag_reset\": " << r.missTagReset << ",\n";
+        f << "      \"miss_uncached\": " << r.missUncached << ",\n";
+        f << "      \"time_reads\": " << r.timeReads << ",\n";
+        f << "      \"time_read_hits\": " << r.timeReadHits << ",\n";
+        f << "      \"bypass_reads\": " << r.bypassReads << ",\n";
+        f << "      \"read_packets\": " << r.readPackets << ",\n";
+        f << "      \"write_packets\": " << r.writePackets << ",\n";
+        f << "      \"coherence_packets\": " << r.coherencePackets
+          << ",\n";
+        f << "      \"writeback_packets\": " << r.writebackPackets
+          << ",\n";
+        f << "      \"read_words\": " << r.readWords << ",\n";
+        f << "      \"write_words\": " << r.writeWords << ",\n";
+        f << "      \"writeback_words\": " << r.writebackWords << ",\n";
+        f << "      \"traffic_packets\": " << r.trafficPackets << ",\n";
+        f << "      \"traffic_words\": " << r.trafficWords << ",\n";
+        f << "      \"busy_max\": " << r.busyMax << ",\n";
+        f << "      \"busy_avg\": " << csprintf("%.17g", r.busyAvg)
+          << ",\n";
+        f << "      \"serial_cycles\": " << r.serialCycles << ",\n";
+        f << "      \"oracle_violations\": " << r.oracleViolations
+          << ",\n";
+        f << "      \"doall_violations\": " << r.doallViolations << "\n";
+        f << "    }" << (i + 1 < _cells.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+}
+
+} // namespace bench
+} // namespace hscd

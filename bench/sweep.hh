@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Parallel sweep engine for the experiment binaries.
+ *
+ * Every figure/table binary is a (scheme x workload x config) sweep of
+ * independent simulations. The engine runs those cells on a thread pool
+ * and aggregates the results in **submission order**, so the printed
+ * tables and the JSON results file are bit-identical at any --jobs
+ * value (--jobs 1 runs inline, reproducing the historical serial
+ * behavior exactly). Determinism is enforced forever by
+ * tests/test_sweep_determinism.cc.
+ *
+ * Typical binary structure:
+ *
+ *   SweepOptions opts = SweepOptions::parse(argc, argv);
+ *   Sweep sweep(opts, "F11");
+ *   for (...) sweep.add(name, cfg);      // phase 1: enqueue cells
+ *   sweep.run();                         // phase 2: simulate (parallel)
+ *   ... sweep[i] ...                     // phase 3: render in add order
+ *   sweep.finish(std::cout);             // JSON + wall-clock line
+ */
+
+#ifndef HSCD_BENCH_SWEEP_HH
+#define HSCD_BENCH_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+#include "sim/result.hh"
+
+namespace hscd {
+namespace bench {
+
+/** Command-line options shared by every sweep binary. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means hardware concurrency, 1 means serial. */
+    unsigned jobs = 0;
+    /** Write machine-readable results here ("" disables). */
+    std::string jsonPath;
+
+    /**
+     * Parse `--jobs/-j N` and `--json PATH` (plus --help); fatal() on
+     * anything unrecognized so typos never silently change a sweep.
+     */
+    static SweepOptions parse(int argc, char **argv);
+};
+
+class Sweep
+{
+  public:
+    Sweep(SweepOptions opts, std::string experiment);
+
+    /**
+     * Enqueue one runBenchmark() cell; returns its index. The label
+     * (default "benchmark/scheme") only feeds the JSON output.
+     */
+    std::size_t add(const std::string &benchmark, const MachineConfig &cfg,
+                    int scale = 2, bool affinity = true);
+    std::size_t add(std::string label, const std::string &benchmark,
+                    const MachineConfig &cfg, int scale = 2,
+                    bool affinity = true);
+
+    /** Enqueue an arbitrary simulation cell (custom program, etc.). */
+    std::size_t addCustom(std::string label,
+                          std::function<sim::RunResult()> runCell);
+
+    /**
+     * Simulate every cell on opts.jobs threads. Results land in add()
+     * order regardless of completion order; callable once.
+     */
+    void run();
+
+    std::size_t size() const { return _cells.size(); }
+
+    /** Result of cell @p i (run() must have completed). */
+    const sim::RunResult &operator[](std::size_t i) const;
+
+    /** requireSound() on every completed cell, labelled for blame. */
+    void requireAllSound() const;
+
+    /**
+     * Epilogue: emit the JSON file when --json was given and print the
+     * wall-clock line (the only output allowed to vary across --jobs).
+     */
+    void finish(std::ostream &os) const;
+
+    const SweepOptions &options() const { return _opts; }
+
+  private:
+    struct Cell
+    {
+        std::string label;
+        std::string benchmark; ///< empty for custom cells
+        std::string scheme;    ///< empty for custom cells
+        int scale = 0;
+        bool affinity = true;
+        std::function<sim::RunResult()> runCell;
+    };
+
+    void writeJson() const;
+
+    SweepOptions _opts;
+    std::string _experiment;
+    std::vector<Cell> _cells;
+    std::vector<sim::RunResult> _results;
+    double _wallMs = 0;
+    bool _ran = false;
+};
+
+} // namespace bench
+} // namespace hscd
+
+#endif // HSCD_BENCH_SWEEP_HH

@@ -1,15 +1,23 @@
 #include "common/log.hh"
 
 #include <cstdio>
+#include <mutex>
 
 namespace hscd {
 
 int Log::level = 1;
 bool Log::throwOnPanic = true;
 
+namespace {
+// Parallel sweeps log from worker threads; serialize the sink so lines
+// never interleave mid-message.
+std::mutex emitMutex;
+} // namespace
+
 void
 Log::emit(const char *tag, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lk(emitMutex);
     std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
 }
 

@@ -40,6 +40,7 @@ class Log
     /** Throw PanicError instead of aborting (set by tests). */
     static bool throwOnPanic;
 
+    /** Thread-safe: whole lines, never interleaved mid-message. */
     static void emit(const char *tag, const std::string &msg);
 };
 

@@ -1,0 +1,75 @@
+#include "common/parallel.hh"
+
+namespace hscd {
+
+unsigned
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned jobs) : _jobs(jobs ? jobs : hardwareJobs())
+{
+    _workers.reserve(_jobs);
+    for (unsigned i = 0; i < _jobs; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lk(_mtx);
+        _stopping = true;
+    }
+    _workReady.notify_all();
+    for (std::thread &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lk(_mtx);
+        // _pending counts the task from submission until completion, so
+        // wait() cannot slip through the window where a nested child has
+        // been queued but its parent already finished.
+        ++_pending;
+        _queue.push_back(std::move(task));
+    }
+    _workReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(_mtx);
+    _allDone.wait(lk, [this] { return _pending == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(_mtx);
+            _workReady.wait(
+                lk, [this] { return _stopping || !_queue.empty(); });
+            if (_queue.empty())
+                return; // stopping and drained
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(_mtx);
+            if (--_pending == 0)
+                _allDone.notify_all();
+        }
+    }
+}
+
+} // namespace hscd

@@ -1,6 +1,7 @@
 #include "sim/machine.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
@@ -21,6 +22,42 @@ namespace sim {
 using compiler::MarkKind;
 using mem::MemOp;
 using mem::ValueStamp;
+
+std::uint64_t
+RunResult::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    auto mixd = [&](double d) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+    };
+    mix(cycles); mix(epochs); mix(parallelEpochs); mix(tasks);
+    mix(reads); mix(writes); mix(readHits); mix(readMisses);
+    mixd(readMissRate); mixd(avgMissLatency);
+    mix(missCold); mix(missReplacement); mix(missTrueShare);
+    mix(missFalseShare); mix(missConservative); mix(missTagReset);
+    mix(missUncached);
+    mix(timeReads); mix(timeReadHits); mix(bypassReads);
+    mix(readPackets); mix(writePackets); mix(coherencePackets);
+    mix(writebackPackets); mix(readWords); mix(writeWords);
+    mix(writebackWords); mix(trafficPackets); mix(trafficWords);
+    mix(busyMax); mixd(busyAvg); mix(serialCycles);
+    mix(oracleViolations); mix(doallViolations);
+    mix(firstViolations.size());
+    for (const OracleViolation &v : firstViolations) {
+        mix(v.addr); mix(v.ref); mix(v.seen); mix(v.expected);
+        mix(v.epoch); mix(v.proc);
+    }
+    return h;
+}
 
 std::string
 RunResult::summary() const

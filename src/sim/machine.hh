@@ -55,7 +55,14 @@ class Machine
     bool _ran = false;
 };
 
-/** Convenience: compile nothing, just run @p cp under @p cfg. */
+/**
+ * Convenience: compile nothing, just run @p cp under @p cfg.
+ *
+ * Thread-safety: a Machine owns all of its mutable state (stats tree,
+ * memory image, network model, migration RNG), so concurrent simulate()
+ * calls on distinct Machines are independent - even over one shared,
+ * immutable CompiledProgram. The sweep engine relies on this.
+ */
 RunResult simulate(const compiler::CompiledProgram &cp,
                    const MachineConfig &cfg);
 

@@ -6,6 +6,7 @@
 #ifndef HSCD_SIM_RESULT_HH
 #define HSCD_SIM_RESULT_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,8 @@ struct OracleViolation
     mem::ValueStamp expected = 0;
     EpochId epoch = 0;
     ProcId proc = 0;
+
+    bool operator==(const OracleViolation &) const = default;
 };
 
 struct RunResult
@@ -87,6 +90,15 @@ struct RunResult
     }
 
     std::string summary() const;
+
+    /**
+     * Field-by-field equality; the determinism contract of the sweep
+     * engine is that a cell's RunResult compares equal at any --jobs.
+     */
+    bool operator==(const RunResult &) const = default;
+
+    /** FNV-1a digest over every field (doubles by bit pattern). */
+    std::uint64_t fingerprint() const;
 };
 
 } // namespace sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Golden-value lock on the Figure 11 miss-rate table (EXPERIMENTS.md):
+ * BASE / SC / VC / TPI / HW read miss rates on the six workloads at
+ * scale=1. Future performance work must not silently change reproduced
+ * paper numbers; an intentional change regenerates the table with
+ *
+ *   HSCD_PRINT_GOLDEN=1 ./tests/hscd_sweep_tests \
+ *       --gtest_filter=GoldenMissRates.* 2>&1 | grep GOLDEN
+ *
+ * and pastes the emitted rows below.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+#include "sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace hscd;
+using namespace hscd::bench;
+
+namespace {
+
+struct GoldenRow
+{
+    const char *benchmark;
+    // Read miss rates in percent: BASE, SC, VC, TPI, HW.
+    double pct[5];
+};
+
+// Regenerate with HSCD_PRINT_GOLDEN=1 (see file comment).
+const GoldenRow kGolden[] = {
+    {"ADM", {100.0000, 90.6695, 21.8483, 21.2785, 15.6339}},
+    {"FLO52", {100.0000, 100.0000, 29.0568, 22.3421, 24.9400}},
+    {"OCEAN", {100.0000, 100.0000, 19.0454, 22.5622, 23.5670}},
+    {"QCD2", {100.0000, 99.9068, 15.7310, 16.1426, 11.4916}},
+    {"SPEC77", {100.0000, 66.1170, 14.7430, 15.1148, 29.4698}},
+    {"TRFD", {100.0000, 100.0000, 12.2642, 14.3729, 11.5982}},
+};
+
+// Absolute tolerance in percentage points. Tight enough that a changed
+// coherence decision trips it, loose enough for benign float jitter.
+constexpr double kTolerance = 0.05;
+
+const SchemeKind kSchemes[] = {SchemeKind::Base, SchemeKind::SC,
+                               SchemeKind::VC, SchemeKind::TPI,
+                               SchemeKind::HW};
+
+} // namespace
+
+TEST(GoldenMissRates, F11TableAtScale1)
+{
+    const std::vector<std::string> names = workloads::benchmarkNames();
+    ASSERT_EQ(names.size(), std::size(kGolden));
+
+    SweepOptions opts; // default jobs: the table must not depend on it
+    Sweep sweep(opts, "golden-f11");
+    for (const std::string &name : names)
+        for (SchemeKind k : kSchemes)
+            sweep.add(name, makeConfig(k), /*scale=*/1);
+    sweep.run();
+    sweep.requireAllSound();
+
+    const bool print = std::getenv("HSCD_PRINT_GOLDEN") != nullptr;
+    std::size_t cell = 0;
+    for (std::size_t b = 0; b < names.size(); ++b) {
+        EXPECT_EQ(names[b], kGolden[b].benchmark);
+        double measured[5];
+        for (int s = 0; s < 5; ++s)
+            measured[s] = 100.0 * sweep[cell++].readMissRate;
+        if (print) {
+            std::fprintf(stderr,
+                         "GOLDEN     {\"%s\", {%.4f, %.4f, %.4f, %.4f, "
+                         "%.4f}},\n",
+                         names[b].c_str(), measured[0], measured[1],
+                         measured[2], measured[3], measured[4]);
+            continue;
+        }
+        for (int s = 0; s < 5; ++s) {
+            EXPECT_NEAR(measured[s], kGolden[b].pct[s], kTolerance)
+                << names[b] << " under " << schemeName(kSchemes[s])
+                << ": the reproduced Figure 11 number moved; if this "
+                   "change is intentional, regenerate the golden table "
+                   "(see file comment) and update EXPERIMENTS.md";
+        }
+    }
+}

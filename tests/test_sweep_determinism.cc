@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The headline determinism guarantee of the sweep engine: the same
+ * (benchmark x scheme) sweep run at --jobs 1, 2, and 8 must produce
+ * byte-identical RunResult aggregates - cycle counts, miss breakdowns,
+ * traffic, oracle verdicts, everything. Enforced forever by ctest; runs
+ * under TSan in the sanitizer build.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+#include "sweep.hh"
+
+using namespace hscd;
+using namespace hscd::bench;
+
+namespace {
+
+const std::vector<std::string> kBenchmarks = {"ADM", "OCEAN", "TRFD"};
+const SchemeKind kSchemes[] = {SchemeKind::SC, SchemeKind::TPI,
+                               SchemeKind::HW};
+
+/** Build and run the reference 3x3 sweep at the given thread count. */
+std::vector<sim::RunResult>
+runSweep(unsigned jobs, const std::string &jsonPath = "")
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.jsonPath = jsonPath;
+    Sweep sweep(opts, "determinism");
+    for (const std::string &name : kBenchmarks)
+        for (SchemeKind k : kSchemes)
+            sweep.add(name, makeConfig(k), /*scale=*/1);
+    sweep.run();
+    std::vector<sim::RunResult> out;
+    out.reserve(sweep.size());
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+        out.push_back(sweep[i]);
+    if (!jsonPath.empty()) {
+        std::ostringstream devnull;
+        sweep.finish(devnull); // emits the JSON file
+    }
+    return out;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(SweepDeterminism, IdenticalResultsAtJobs128)
+{
+    const std::vector<sim::RunResult> serial = runSweep(1);
+    ASSERT_EQ(serial.size(), kBenchmarks.size() * 3);
+
+    // Sanity: the cells are soundly coherent and nontrivial.
+    for (const sim::RunResult &r : serial) {
+        EXPECT_EQ(r.oracleViolations, 0u);
+        EXPECT_EQ(r.doallViolations, 0u);
+        EXPECT_GT(r.cycles, 0u);
+        EXPECT_GT(r.reads, 0u);
+    }
+
+    for (unsigned jobs : {2u, 8u}) {
+        const std::vector<sim::RunResult> parallel = runSweep(jobs);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(parallel[i], serial[i])
+                << "cell " << i << " diverged at jobs=" << jobs << ": "
+                << parallel[i].summary() << " vs " << serial[i].summary();
+            EXPECT_EQ(parallel[i].fingerprint(), serial[i].fingerprint())
+                << "fingerprint of cell " << i << " at jobs=" << jobs;
+        }
+    }
+}
+
+TEST(SweepDeterminism, JsonOutputIsByteIdenticalAcrossJobs)
+{
+    const std::string p1 = testing::TempDir() + "hscd_sweep_j1.json";
+    const std::string p8 = testing::TempDir() + "hscd_sweep_j8.json";
+    runSweep(1, p1);
+    runSweep(8, p8);
+    const std::string j1 = slurp(p1);
+    const std::string j8 = slurp(p8);
+    EXPECT_FALSE(j1.empty());
+    EXPECT_EQ(j1, j8);
+    EXPECT_NE(j1.find("\"fingerprint\""), std::string::npos);
+    std::remove(p1.c_str());
+    std::remove(p8.c_str());
+}
+
+TEST(SweepDeterminism, RepeatedRunsAgreeAtFixedJobs)
+{
+    // Same jobs count twice: guards against any run-to-run state leak
+    // (stats, RNG, cache) inside one process.
+    const std::vector<sim::RunResult> a = runSweep(8);
+    const std::vector<sim::RunResult> b = runSweep(8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "cell " << i;
+}
