@@ -155,10 +155,18 @@ Marking::run(const hir::Program &prog, const EpochGraph &graph,
             } else if (sync_same_node && best == 0) {
                 m = Mark{MarkKind::Bypass, MarkReason::SyncOrdered, 0};
             } else {
+                // Saturate to what the timetag width can encode: the
+                // compiler must not emit an operand it would need the
+                // hardware to clamp for it (GRAPH002 checks this).
+                const std::uint32_t max_encodable =
+                    opts.timetagBits >= 32
+                        ? ~std::uint32_t{0}
+                        : (std::uint32_t{1} << opts.timetagBits) - 1;
                 m = Mark{MarkKind::TimeRead,
                          best == 0 ? MarkReason::SameEpoch
                                    : MarkReason::Stale,
-                         std::min(best, opts.maxDistance)};
+                         std::min({best, opts.maxDistance,
+                                   max_encodable})};
             }
         }
 

@@ -68,6 +68,14 @@ struct AnalysisOptions
     /** Cap for marked distances (the hardware window is bounded anyway). */
     std::uint32_t maxDistance = 255;
     /**
+     * Timetag width of the target hardware. Distances saturate to the
+     * widest encodable operand, 2^bits - 1: emitting a larger one would
+     * rely on the hardware clamping it, which is a contract violation
+     * the GRAPH002 lint rejects. Saturating down is always sound — a
+     * smaller distance only makes the Time-Read more conservative.
+     */
+    unsigned timetagBits = 8;
+    /**
      * Analyze against declared parameter ranges instead of the bound
      * values: one conservative marking serves every problem size in
      * range (separate-compilation style).
@@ -102,6 +110,13 @@ class Marking
 
     /** Per-reference table for the explorer example. */
     std::string describe(const hir::Program &prog) const;
+
+    /**
+     * Replace one reference's mark. Verification-only hook: lets tests
+     * build deliberately under-marked programs to prove the soundness
+     * oracle and the shadow-epoch detector actually fire.
+     */
+    void overrideMark(hir::RefId id, const Mark &m) { _marks.at(id) = m; }
 
   private:
     std::vector<Mark> _marks;

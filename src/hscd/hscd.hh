@@ -31,6 +31,7 @@
 #include "network/kruskal_snir.hh"
 #include "sim/machine.hh"
 #include "sim/trace.hh"
+#include "verify/verify.hh"
 #include "workloads/workloads.hh"
 
 #endif // HSCD_HSCD_HH

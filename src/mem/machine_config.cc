@@ -112,6 +112,8 @@ MachineConfig::params()
         .define("migration_rate", "0.0", "per-task migration probability")
         .define("seq_consistency", "false",
                 "sequential instead of weak consistency")
+        .define("shadow_check", "false",
+                "shadow-epoch race detector: flag stale cache hits")
         .define("network", "min",
                 "interconnect topology: min|torus3d");
     return p;
@@ -137,6 +139,7 @@ MachineConfig::fromParams(const Params &p)
     c.writeBufferAsCache = p.getBool("wbuf_cache");
     c.migrationRate = p.getDouble("migration_rate");
     c.sequentialConsistency = p.getBool("seq_consistency");
+    c.shadowEpochCheck = p.getBool("shadow_check");
     c.topology = parseTopology(p.getString("network"));
     c.validate();
     return c;

@@ -100,6 +100,15 @@ struct MachineConfig
      * reads and writes are affected" under SC, made measurable.
      */
     bool sequentialConsistency = false;
+    /**
+     * Shadow-epoch race detector: the executor tracks the last writer
+     * (value stamp, processor, epoch) of every shared word and flags any
+     * cache hit that observes an older value than the freshest write.
+     * A hit that violates this is a coherence bug: either the marking
+     * let a stale copy satisfy a read, or the scheme vouched for a word
+     * it should not have. Off by default (verification runs only).
+     */
+    bool shadowEpochCheck = false;
 
     unsigned wordsPerLine() const { return lineBytes / 4; }
     std::uint64_t lines() const { return cacheBytes / lineBytes; }

@@ -56,6 +56,12 @@ RunResult::fingerprint() const
         mix(v.addr); mix(v.ref); mix(v.seen); mix(v.expected);
         mix(v.epoch); mix(v.proc);
     }
+    mix(shadowViolations);
+    mix(firstShadowViolations.size());
+    for (const ShadowViolation &v : firstShadowViolations) {
+        mix(v.addr); mix(v.ref); mix(v.proc); mix(v.epoch);
+        mix(v.writerProc); mix(v.writerEpoch);
+    }
     return h;
 }
 
@@ -84,6 +90,10 @@ class Executor
           _busy(m._cfg.procs, 0),
           _rng(m._cfg.migrationSeed)
     {
+        if (_cfg.shadowEpochCheck) {
+            _shadowWriterProc.assign(m._memory.words(), 0);
+            _shadowWriterEpoch.assign(m._memory.words(), 0);
+        }
     }
 
     RunResult
@@ -280,6 +290,10 @@ class Executor
         if (op.write) {
             mop.stamp = ++_stampCounter;
             _lastStamp[op.addr / 4] = mop.stamp;
+            if (_cfg.shadowEpochCheck) {
+                _shadowWriterProc[op.addr / 4] = proc;
+                _shadowWriterEpoch[op.addr / 4] = _epoch;
+            }
         } else {
             mop.mark = mark.kind;
             mop.distance = mark.distance;
@@ -298,6 +312,21 @@ class Executor
                     _res.firstViolations.push_back(OracleViolation{
                         op.addr, op.ref, res.observed, expected, _epoch,
                         proc});
+                }
+            }
+            // Shadow-epoch race detector: a genuine cache hit must
+            // observe the freshest value ever written to the word; a
+            // stale hit means the compiler's mark let a cached copy
+            // satisfy a read the last writer should have invalidated.
+            if (_cfg.shadowEpochCheck && res.hit &&
+                res.observed != expected)
+            {
+                ++_res.shadowViolations;
+                if (_res.firstShadowViolations.size() < 8) {
+                    _res.firstShadowViolations.push_back(ShadowViolation{
+                        op.addr, op.ref, proc, _epoch,
+                        _shadowWriterProc[op.addr / 4],
+                        _shadowWriterEpoch[op.addr / 4]});
                 }
             }
         }
@@ -540,6 +569,9 @@ class Executor
     mem::CoherenceScheme &_scheme;
 
     std::vector<ValueStamp> _lastStamp;
+    /** Shadow-epoch detector state (empty unless shadowEpochCheck). */
+    std::vector<ProcId> _shadowWriterProc;
+    std::vector<EpochId> _shadowWriterEpoch;
     ValueStamp _stampCounter = 0;
     std::vector<Cycles> _procTime;
     std::vector<Cycles> _busy;

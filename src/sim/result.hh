@@ -28,6 +28,22 @@ struct OracleViolation
     bool operator==(const OracleViolation &) const = default;
 };
 
+/**
+ * A cache hit observed a value older than the word's freshest write
+ * (shadow-epoch race detector, MachineConfig::shadowEpochCheck).
+ */
+struct ShadowViolation
+{
+    Addr addr = 0;
+    hir::RefId ref = hir::invalidRef;
+    ProcId proc = 0;          ///< the reader that hit a stale copy
+    EpochId epoch = 0;        ///< epoch of the stale hit
+    ProcId writerProc = 0;    ///< who produced the freshest value
+    EpochId writerEpoch = 0;  ///< the epoch it was produced in
+
+    bool operator==(const ShadowViolation &) const = default;
+};
+
 struct RunResult
 {
     Cycles cycles = 0;           ///< parallel execution time
@@ -81,6 +97,11 @@ struct RunResult
     /** Data races that make the program an illegal DOALL program. */
     Counter doallViolations = 0;
     std::vector<OracleViolation> firstViolations;
+
+    /** Stale cache hits caught by the shadow-epoch race detector
+     *  (always 0 unless MachineConfig::shadowEpochCheck is on). */
+    Counter shadowViolations = 0;
+    std::vector<ShadowViolation> firstShadowViolations;
 
     /** Unnecessary coherence misses (conservative + false sharing). */
     Counter

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Diagnostic engine for the coherence soundness verifier.
+ *
+ * Every lint pass reports findings through a DiagnosticEngine: a stable
+ * diagnostic id (e.g. "HIR001"), a severity, a source location derived
+ * from the HIR (procedure, reference id, rendered reference text), and a
+ * human-readable message. The engine renders either plain text or JSON,
+ * and computes the process exit status under an optional
+ * warnings-are-errors policy.
+ *
+ * Severity contract:
+ *  - Error:   a soundness or well-formedness violation; always fails.
+ *  - Warning: suspicious but not provably wrong; fails under --werror.
+ *  - Note:    informational (e.g. proven over-marking precision loss);
+ *             never affects the exit status.
+ */
+
+#ifndef HSCD_VERIFY_DIAGNOSTIC_HH
+#define HSCD_VERIFY_DIAGNOSTIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hir/program.hh"
+
+namespace hscd {
+namespace verify {
+
+enum class Severity : std::uint8_t
+{
+    Note,
+    Warning,
+    Error,
+};
+
+const char *severityName(Severity s);
+
+/**
+ * Where a diagnostic points. The HIR has no file/line information, so a
+ * location is the procedure name plus, when the finding is anchored to a
+ * static memory reference, its RefId and a rendered "ARRAY(subs)" form.
+ */
+struct SourceLoc
+{
+    std::string proc;               ///< procedure name; "" = program scope
+    hir::RefId ref = hir::invalidRef;
+    std::string where;              ///< rendered site, e.g. "A(i+1)"
+
+    /** Build the reference location for @p id from the program tables. */
+    static SourceLoc ofRef(const hir::Program &prog, hir::RefId id);
+
+    std::string str() const;
+};
+
+struct Diagnostic
+{
+    std::string id;      ///< stable catalog id, e.g. "ORACLE001"
+    Severity severity = Severity::Warning;
+    SourceLoc loc;
+    std::string message;
+
+    std::string str() const;
+};
+
+/**
+ * Collects diagnostics from all passes over one program. Diagnostics are
+ * kept in insertion order; passes themselves iterate the program
+ * deterministically, so rendered output is byte-identical run to run.
+ */
+class DiagnosticEngine
+{
+  public:
+    explicit DiagnosticEngine(std::string program_name = "")
+        : _program(std::move(program_name))
+    {}
+
+    void report(const std::string &id, Severity sev, SourceLoc loc,
+                const std::string &message);
+
+    const std::vector<Diagnostic> &diagnostics() const { return _diags; }
+    const std::string &programName() const { return _program; }
+
+    std::size_t count(Severity s) const;
+    std::size_t errors() const { return count(Severity::Error); }
+    std::size_t warnings() const { return count(Severity::Warning); }
+    std::size_t notes() const { return count(Severity::Note); }
+
+    /** True when the run must fail: errors, or warnings under werror. */
+    bool failed(bool werror) const
+    {
+        return errors() > 0 || (werror && warnings() > 0);
+    }
+
+    /** Process exit status: 0 clean, 1 failed. */
+    int exitCode(bool werror) const { return failed(werror) ? 1 : 0; }
+
+    /** Human-readable listing, one diagnostic per line plus a summary. */
+    std::string renderText() const;
+
+    /**
+     * One JSON object:
+     * {"program":..., "counts":{"errors":n,"warnings":n,"notes":n},
+     *  "diagnostics":[{"id":...,"severity":...,"proc":...,"ref":n,
+     *                  "where":...,"message":...}, ...]}
+     */
+    std::string renderJson(int indent = 0) const;
+
+  private:
+    std::string _program;
+    std::vector<Diagnostic> _diags;
+};
+
+/** Escape a string for embedding in a JSON literal (no quotes added). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace verify
+} // namespace hscd
+
+#endif // HSCD_VERIFY_DIAGNOSTIC_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Epoch-graph structural lints (diagnostic ids GRAPH001..GRAPH003).
+ *
+ *  GRAPH001 (warning) unreachable-epoch: an epoch node with no path
+ *                     from the program entry; its references are dead
+ *                     and its marks meaningless.
+ *  GRAPH002 (error)   distance-exceeds-timetag: a Time-Read distance
+ *                     operand larger than the configured timetag width
+ *                     can represent. The hardware window after a
+ *                     two-phase reset is 2^bits - 1 epochs; a larger
+ *                     operand silently degrades to hardware clamping,
+ *                     which the compiler must not rely on.
+ *  GRAPH003 (error)   bypass-on-unprotected: a read marked Bypass with
+ *                     a critical-section reason although neither the
+ *                     read nor any same-array write in its epochs is
+ *                     lock-protected (resp. no post/wait in its epochs
+ *                     for sync-ordered bypasses). Bypass marks are the
+ *                     most expensive class; an unjustified one points
+ *                     at a marking bug.
+ */
+
+#include <vector>
+
+#include "common/strutil.hh"
+#include "verify/pass.hh"
+
+namespace hscd {
+namespace verify {
+
+namespace {
+
+using compiler::EpochGraph;
+using compiler::EpochNode;
+using compiler::MarkKind;
+using compiler::MarkReason;
+using compiler::RefOccur;
+using compiler::unreachableDist;
+
+class GraphLintPass : public LintPass
+{
+  public:
+    const char *name() const override { return "graph-lints"; }
+
+    void
+    run(const compiler::CompiledProgram &cp, const LintOptions &opts,
+        DiagnosticEngine &diags) override
+    {
+        const EpochGraph &g = cp.graph;
+        const hir::Program &prog = cp.program;
+
+        // GRAPH001: reachability from the entry node.
+        for (const EpochNode &n : g.nodes()) {
+            if (g.distance(g.entry(), n.id) == unreachableDist) {
+                diags.report(
+                    "GRAPH001", Severity::Warning,
+                    SourceLoc{"", hir::invalidRef, n.label()},
+                    csprintf("epoch node %s is unreachable from the "
+                             "program entry (%d references are dead)",
+                             n.label(), n.refs.size()));
+            }
+        }
+
+        // GRAPH002: every TimeRead distance must be encodable. After a
+        // two-phase reset the oldest surviving timetag is EC - (2^b - 1),
+        // so 2^b - 1 is the widest meaningful distance operand.
+        const std::uint32_t max_encodable =
+            opts.timetagBits >= 32
+                ? ~std::uint32_t{0}
+                : (std::uint32_t{1} << opts.timetagBits) - 1;
+        for (hir::RefId id = 0; id < prog.refCount(); ++id) {
+            const compiler::Mark &m = cp.marking.mark(id);
+            if (m.kind == MarkKind::TimeRead &&
+                m.distance > max_encodable)
+            {
+                diags.report(
+                    "GRAPH002", Severity::Error,
+                    SourceLoc::ofRef(prog, id),
+                    csprintf("time-read distance %d exceeds the %d-bit "
+                             "timetag window (max encodable distance "
+                             "%d); the compiler must saturate, not rely "
+                             "on hardware clamping",
+                             m.distance, opts.timetagBits,
+                             max_encodable));
+            }
+        }
+
+        // GRAPH003: justification scan for Bypass marks. Collect, per
+        // reference, whether any occurrence could justify the bypass.
+        std::vector<bool> in_critical(prog.refCount(), false);
+        std::vector<bool> critical_writer_near(prog.refCount(), false);
+        std::vector<bool> sync_near(prog.refCount(), false);
+        for (const EpochNode &n : g.nodes()) {
+            bool node_has_critical_write = false;
+            for (const RefOccur &occ : n.refs)
+                if (occ.stmt->isWrite && occ.inCritical)
+                    node_has_critical_write = true;
+            for (const RefOccur &occ : n.refs) {
+                if (occ.stmt->isWrite)
+                    continue;
+                if (occ.inCritical)
+                    in_critical[occ.ref] = true;
+                if (node_has_critical_write)
+                    critical_writer_near[occ.ref] = true;
+                if (n.hasSync)
+                    sync_near[occ.ref] = true;
+            }
+        }
+        for (hir::RefId id = 0; id < prog.refCount(); ++id) {
+            const compiler::Mark &m = cp.marking.mark(id);
+            if (m.kind != MarkKind::Bypass)
+                continue;
+            if (m.reason == MarkReason::Critical && !in_critical[id] &&
+                !critical_writer_near[id])
+            {
+                diags.report(
+                    "GRAPH003", Severity::Error,
+                    SourceLoc::ofRef(prog, id),
+                    "bypass(critical) mark on a read that is neither "
+                    "inside a critical section nor in an epoch with "
+                    "lock-protected writers");
+            } else if (m.reason == MarkReason::SyncOrdered &&
+                       !sync_near[id])
+            {
+                diags.report(
+                    "GRAPH003", Severity::Error,
+                    SourceLoc::ofRef(prog, id),
+                    "bypass(sync) mark on a read none of whose epochs "
+                    "contains post/wait synchronization");
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass>
+makeGraphLintPass()
+{
+    return std::make_unique<GraphLintPass>();
+}
+
+} // namespace verify
+} // namespace hscd

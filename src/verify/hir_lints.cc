@@ -1,0 +1,361 @@
+/**
+ * @file
+ * HIR well-formedness lints (diagnostic ids HIR001..HIR007).
+ *
+ * The walker starts at MAIN and virtually inlines calls, mirroring how
+ * the compiler and the executor see the program: a callee may legally
+ * use a caller's loop variable, so bindings are checked along inlined
+ * paths, not per procedure in isolation. Statements reached through
+ * several call paths are reported once (deduplicated by statement).
+ *
+ *  HIR001 (error)   undefined-variable: an expression uses a variable
+ *                   with no enclosing loop or parameter binding.
+ *  HIR002 (warning) shadowed-variable: a loop index rebinds a live
+ *                   binding (outer loop index or program parameter).
+ *  HIR003 (error)   subscript-out-of-bounds: a subscript is provably
+ *                   outside [0, extent) for every dynamic instance.
+ *  HIR004 (warning) empty-doall: a DOALL's bounds are provably empty.
+ *  HIR005 (note)    single-trip-doall: a DOALL provably runs exactly
+ *                   one iteration (serial in effect).
+ *  HIR006 (error)   wait-without-post: a wait on a provably-constant
+ *                   flag that no post can ever match.
+ *  HIR007 (note)    post-without-wait: a post on a constant flag that
+ *                   no wait ever consumes.
+ */
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/strutil.hh"
+#include "verify/pass.hh"
+
+namespace hscd {
+namespace verify {
+
+namespace {
+
+using hir::ArrayRefStmt;
+using hir::CallStmt;
+using hir::CriticalStmt;
+using hir::IfUnknownStmt;
+using hir::IntExpr;
+using hir::LoopStmt;
+using hir::Program;
+using hir::Range;
+using hir::Stmt;
+using hir::StmtKind;
+using hir::StmtList;
+using hir::SyncStmt;
+
+class HirLintPass : public LintPass
+{
+  public:
+    const char *name() const override { return "hir-lints"; }
+
+    void
+    run(const compiler::CompiledProgram &cp, const LintOptions &,
+        DiagnosticEngine &diags) override
+    {
+        _prog = &cp.program;
+        _diags = &diags;
+        _bindCount.clear();
+        _ranges.clear();
+        _reported.clear();
+        _posts.clear();
+        _waits.clear();
+
+        for (const auto &[name, value] : _prog->params().vars()) {
+            _bindCount[name] = 1;
+            _ranges[name] = Range{value, value};
+        }
+
+        _procStack.push_back(_prog->mainIndex());
+        walk(_prog->main().body);
+        _procStack.pop_back();
+        checkSyncPairs();
+    }
+
+  private:
+    /** Provable constant value of @p e under current ranges, if any. */
+    std::optional<std::int64_t>
+    constantOf(const IntExpr &e) const
+    {
+        auto r = e.range(_ranges);
+        if (r && r->lo == r->hi)
+            return r->lo;
+        return std::nullopt;
+    }
+
+    /** Report once per (id, site) even across repeated inlining. */
+    bool
+    once(const std::string &id, const void *site, const std::string &extra)
+    {
+        return _reported.insert(csprintf("%s/%p/%s", id, site, extra))
+            .second;
+    }
+
+    std::string
+    procName() const
+    {
+        return _prog->procedures()[_procStack.back()].name;
+    }
+
+    void
+    checkExprDefined(const IntExpr &e, const void *site,
+                     const std::string &what)
+    {
+        for (const std::string &v : e.variables()) {
+            auto it = _bindCount.find(v);
+            if (it != _bindCount.end() && it->second > 0)
+                continue;
+            if (once("HIR001", site, v)) {
+                _diags->report(
+                    "HIR001", Severity::Error,
+                    SourceLoc{procName(), hir::invalidRef, e.str()},
+                    csprintf("undefined variable '%s' in %s '%s' (no "
+                             "enclosing loop or parameter binds it)",
+                             v, what, e.str()));
+            }
+        }
+    }
+
+    void
+    checkRef(const ArrayRefStmt &ref)
+    {
+        const hir::ArrayDecl &decl = _prog->array(ref.array);
+        for (std::size_t d = 0; d < ref.subs.size(); ++d) {
+            const IntExpr &e = ref.subs[d];
+            checkExprDefined(e, &ref, "subscript of " + decl.name);
+            if (d >= decl.dims.size())
+                continue;
+            auto r = e.range(_ranges);
+            if (!r)
+                continue;
+            const std::int64_t extent = decl.dims[d];
+            if ((r->hi < 0 || r->lo >= extent) &&
+                once("HIR003", &ref, std::to_string(d)))
+            {
+                _diags->report(
+                    "HIR003", Severity::Error,
+                    SourceLoc::ofRef(*_prog, ref.id),
+                    csprintf("subscript %d of %s is provably out of "
+                             "bounds: value in [%d, %d], extent %d",
+                             d, decl.name, r->lo, r->hi, extent));
+            }
+        }
+    }
+
+    void
+    enterLoop(const LoopStmt &l)
+    {
+        checkExprDefined(l.lo, &l, "lower bound of loop " + l.var);
+        checkExprDefined(l.hi, &l, "upper bound of loop " + l.var);
+
+        auto it = _bindCount.find(l.var);
+        if (it != _bindCount.end() && it->second > 0 &&
+            once("HIR002", &l, ""))
+        {
+            _diags->report(
+                "HIR002", Severity::Warning,
+                SourceLoc{procName(), hir::invalidRef, l.var},
+                csprintf("loop index '%s' shadows an enclosing binding "
+                         "of the same name", l.var));
+        }
+
+        auto lo = l.lo.range(_ranges);
+        auto hi = l.hi.range(_ranges);
+        if (l.parallel && lo && hi) {
+            if (hi->hi < lo->lo) {
+                if (once("HIR004", &l, "")) {
+                    _diags->report(
+                        "HIR004", Severity::Warning,
+                        SourceLoc{procName(), hir::invalidRef, l.var},
+                        csprintf("DOALL '%s' is provably empty (bounds "
+                                 "[%d..%d]); it still costs two epoch "
+                                 "boundaries", l.var, lo->lo, hi->hi));
+                }
+            } else if (lo->lo == lo->hi && hi->lo == hi->hi &&
+                       lo->lo + l.step > hi->hi)
+            {
+                if (once("HIR005", &l, "")) {
+                    _diags->report(
+                        "HIR005", Severity::Note,
+                        SourceLoc{procName(), hir::invalidRef, l.var},
+                        csprintf("DOALL '%s' provably runs a single "
+                                 "iteration: serial in effect, but pays "
+                                 "the parallel-epoch boundaries", l.var));
+                }
+            }
+        }
+
+        // Bind the index for the body.
+        ++_bindCount[l.var];
+        _rangeSaves.emplace_back(l.var, lookupRange(l.var));
+        if (lo && hi && lo->lo <= hi->hi)
+            _ranges[l.var] = Range{lo->lo, hi->hi};
+        else
+            _ranges.erase(l.var); // unknowable: leave it unranged
+    }
+
+    std::optional<Range>
+    lookupRange(const std::string &v) const
+    {
+        auto it = _ranges.find(v);
+        return it == _ranges.end() ? std::nullopt
+                                   : std::optional<Range>(it->second);
+    }
+
+    void
+    leaveLoop(const LoopStmt &l)
+    {
+        --_bindCount[l.var];
+        auto [var, saved] = std::move(_rangeSaves.back());
+        _rangeSaves.pop_back();
+        if (saved)
+            _ranges[var] = *saved;
+        else
+            _ranges.erase(var);
+    }
+
+    void
+    checkSync(const SyncStmt &s)
+    {
+        checkExprDefined(s.flag, &s,
+                         s.isPost ? "post flag" : "wait flag");
+        SyncSite site;
+        site.stmt = &s;
+        site.proc = procName();
+        site.flag = constantOf(s.flag);
+        site.rendered = s.flag.str();
+        (s.isPost ? _posts : _waits).push_back(std::move(site));
+    }
+
+    void
+    checkSyncPairs()
+    {
+        bool variable_post = false;
+        std::set<std::int64_t> posted;
+        for (const SyncSite &p : _posts) {
+            if (p.flag)
+                posted.insert(*p.flag);
+            else
+                variable_post = true;
+        }
+        bool variable_wait = false;
+        std::set<std::int64_t> awaited;
+        for (const SyncSite &w : _waits) {
+            if (w.flag)
+                awaited.insert(*w.flag);
+            else
+                variable_wait = true;
+        }
+
+        // A wait on a constant flag no post can produce is a guaranteed
+        // deadlock. Only provable when every post is constant too.
+        if (!variable_post) {
+            for (const SyncSite &w : _waits) {
+                if (!w.flag || posted.count(*w.flag))
+                    continue;
+                if (once("HIR006", w.stmt, ""))
+                    _diags->report(
+                        "HIR006", Severity::Error,
+                        SourceLoc{w.proc, hir::invalidRef, w.rendered},
+                        csprintf("wait(%d) can never be posted: every "
+                                 "post flag is a constant and none "
+                                 "equals %d (guaranteed deadlock)",
+                                 *w.flag, *w.flag));
+            }
+        }
+
+        // A constant post no wait consumes is dead synchronization.
+        if (!variable_wait) {
+            for (const SyncSite &p : _posts) {
+                if (!p.flag || awaited.count(*p.flag))
+                    continue;
+                if (once("HIR007", p.stmt, ""))
+                    _diags->report(
+                        "HIR007", Severity::Note,
+                        SourceLoc{p.proc, hir::invalidRef, p.rendered},
+                        csprintf("post(%d) is never awaited: dead "
+                                 "synchronization (only its write-buffer "
+                                 "drain has an effect)", *p.flag));
+            }
+        }
+    }
+
+    void
+    walk(const StmtList &body)
+    {
+        for (const auto &s : body)
+            walkStmt(*s);
+    }
+
+    void
+    walkStmt(const Stmt &s)
+    {
+        switch (s.kind()) {
+          case StmtKind::ArrayRef:
+            checkRef(static_cast<const ArrayRefStmt &>(s));
+            break;
+          case StmtKind::Loop: {
+            const auto &l = static_cast<const LoopStmt &>(s);
+            enterLoop(l);
+            walk(l.body);
+            leaveLoop(l);
+            break;
+          }
+          case StmtKind::IfUnknown: {
+            const auto &br = static_cast<const IfUnknownStmt &>(s);
+            walk(br.thenBody);
+            walk(br.elseBody);
+            break;
+          }
+          case StmtKind::Call: {
+            const auto &c = static_cast<const CallStmt &>(s);
+            _procStack.push_back(c.callee);
+            walk(_prog->procedures()[c.callee].body);
+            _procStack.pop_back();
+            break;
+          }
+          case StmtKind::Critical:
+            walk(static_cast<const CriticalStmt &>(s).body);
+            break;
+          case StmtKind::Sync:
+            checkSync(static_cast<const SyncStmt &>(s));
+            break;
+          default:
+            break;
+        }
+    }
+
+    struct SyncSite
+    {
+        const SyncStmt *stmt = nullptr;
+        std::string proc;
+        std::optional<std::int64_t> flag;
+        std::string rendered;
+    };
+
+    const Program *_prog = nullptr;
+    DiagnosticEngine *_diags = nullptr;
+    std::map<std::string, int> _bindCount;
+    std::map<std::string, Range> _ranges;
+    std::vector<std::pair<std::string, std::optional<Range>>> _rangeSaves;
+    std::vector<hir::ProcIndex> _procStack;
+    std::set<std::string> _reported;
+    std::vector<SyncSite> _posts;
+    std::vector<SyncSite> _waits;
+};
+
+} // namespace
+
+std::unique_ptr<LintPass>
+makeHirLintPass()
+{
+    return std::make_unique<HirLintPass>();
+}
+
+} // namespace verify
+} // namespace hscd

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Stale-marking soundness oracle.
+ *
+ * An independent, deliberately simple reaching-writes dataflow over
+ * epochs that recomputes, for every static read reference, the weakest
+ * mark that is still sound — and compares it against what the real
+ * marking pass (src/compiler/marking.cc) produced.
+ *
+ * Independence: the oracle re-derives the epoch partitioning, the
+ * boundary distances, the intra-task write coverage, and — instead of
+ * bounded regular sections — computes reference footprints by literally
+ * enumerating the iteration space into per-word sets (word-granular
+ * where every bound and subscript is concretely evaluable, whole-array
+ * otherwise). Same-epoch cross-task conflicts are decided per word from
+ * recorded task labels rather than by an affine separation test.
+ *
+ * Conservatism contract: the oracle's required-mark set is a superset
+ * of what a sound compiler may emit weakly — oracle-required ⊇
+ * truly-required always holds; the reverse never does. Hence:
+ *
+ *  - compiler mark weaker than the oracle requirement  => under-marking,
+ *    a soundness bug (ORACLE001, error);
+ *  - compiler mark stronger than the oracle requirement, on a read whose
+ *    analysis stayed word-exact                         => over-marking,
+ *    a precision loss (ORACLE002, note with counts).
+ */
+
+#ifndef HSCD_VERIFY_ORACLE_HH
+#define HSCD_VERIFY_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/analysis.hh"
+#include "verify/pass.hh"
+
+namespace hscd {
+namespace verify {
+
+/** What the oracle concludes a read requires of the hardware. */
+enum class ReqKind : std::uint8_t
+{
+    None,      ///< a plain Normal read is sound
+    TimeRead,  ///< needs a Time-Read with distance <= `distance`
+    Bypass,    ///< must always refetch
+};
+
+struct OracleRequirement
+{
+    ReqKind kind = ReqKind::None;
+    /** Max sound Time-Read distance (already clamped like the compiler). */
+    std::uint32_t distance = 0;
+    /** No whole-array footprint widening was involved for this read. */
+    bool exact = true;
+    /** The nearest conflicting write that set the requirement. */
+    hir::RefId threat = hir::invalidRef;
+    /** Boundary distance of that threat. */
+    std::uint32_t threatDistance = 0;
+
+    std::string str() const;
+};
+
+struct OracleReport
+{
+    /** Per-RefId requirement (writes get a default None entry). */
+    std::vector<OracleRequirement> required;
+    /** Reads the compiler classified more weakly than required. */
+    std::vector<hir::RefId> underMarked;
+    /** Word-exact reads the compiler classified more strongly. */
+    std::vector<hir::RefId> overMarked;
+    /** Reads whose analysis needed a whole-array fallback somewhere. */
+    std::uint64_t inexactReads = 0;
+};
+
+/** Run the oracle dataflow and compare against cp.marking. */
+OracleReport oracleAnalyze(const compiler::CompiledProgram &cp,
+                           const LintOptions &opts = {});
+
+} // namespace verify
+} // namespace hscd
+
+#endif // HSCD_VERIFY_ORACLE_HH

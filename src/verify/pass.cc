@@ -1,0 +1,26 @@
+#include "verify/pass.hh"
+
+namespace hscd {
+namespace verify {
+
+PassManager
+PassManager::standard()
+{
+    PassManager pm;
+    pm.add(makeHirLintPass());
+    pm.add(makeGraphLintPass());
+    pm.add(makeOraclePass());
+    return pm;
+}
+
+DiagnosticEngine
+lintProgram(const compiler::CompiledProgram &cp,
+            const std::string &program_name, const LintOptions &opts)
+{
+    DiagnosticEngine diags(program_name);
+    PassManager::standard().runAll(cp, opts, diags);
+    return diags;
+}
+
+} // namespace verify
+} // namespace hscd

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Lint pass manager for the coherence soundness verifier.
+ *
+ * A LintPass inspects one CompiledProgram and reports findings through
+ * the DiagnosticEngine. The PassManager owns a pipeline of passes and
+ * runs them in registration order, so lint output is deterministic.
+ *
+ * Three pass families ship with the repo (see verify.hh):
+ *  - HIR well-formedness lints (HIRxxx)      - hir_lints.cc
+ *  - epoch-graph structural lints (GRAPHxxx) - graph_lints.cc
+ *  - the stale-marking soundness oracle (ORACLExxx) - oracle.cc
+ */
+
+#ifndef HSCD_VERIFY_PASS_HH
+#define HSCD_VERIFY_PASS_HH
+
+#include <memory>
+#include <vector>
+
+#include "compiler/analysis.hh"
+#include "verify/diagnostic.hh"
+
+namespace hscd {
+namespace verify {
+
+struct LintOptions
+{
+    /**
+     * Timetag width used by GRAPH002 and the oracle's distance clamp.
+     * Must match the MachineConfig the program will run on; the default
+     * is the paper's 8-bit tag (Figure 8).
+     */
+    unsigned timetagBits = 8;
+    /** Run the (relatively expensive) stale-marking oracle. */
+    bool runOracle = true;
+    /**
+     * Word-enumeration budget per reference footprint in the oracle;
+     * beyond it the footprint widens to the whole array (stays sound,
+     * loses the precision needed to prove over-marking).
+     */
+    std::uint64_t oracleWordCap = 1u << 22;
+};
+
+class LintPass
+{
+  public:
+    virtual ~LintPass() = default;
+
+    virtual const char *name() const = 0;
+    virtual void run(const compiler::CompiledProgram &cp,
+                     const LintOptions &opts, DiagnosticEngine &diags) = 0;
+};
+
+/** Factories for the stock pass families. */
+std::unique_ptr<LintPass> makeHirLintPass();
+std::unique_ptr<LintPass> makeGraphLintPass();
+std::unique_ptr<LintPass> makeOraclePass();
+
+class PassManager
+{
+  public:
+    void
+    add(std::unique_ptr<LintPass> pass)
+    {
+        _passes.push_back(std::move(pass));
+    }
+
+    const std::vector<std::unique_ptr<LintPass>> &
+    passes() const
+    {
+        return _passes;
+    }
+
+    void
+    runAll(const compiler::CompiledProgram &cp, const LintOptions &opts,
+           DiagnosticEngine &diags) const
+    {
+        for (const auto &p : _passes)
+            p->run(cp, opts, diags);
+    }
+
+    /** The standard pipeline: HIR lints, graph lints, oracle. */
+    static PassManager standard();
+
+  private:
+    std::vector<std::unique_ptr<LintPass>> _passes;
+};
+
+/** Run the standard pipeline over @p cp and return the diagnostics. */
+DiagnosticEngine lintProgram(const compiler::CompiledProgram &cp,
+                             const std::string &program_name,
+                             const LintOptions &opts = {});
+
+} // namespace verify
+} // namespace hscd
+
+#endif // HSCD_VERIFY_PASS_HH

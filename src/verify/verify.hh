@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Umbrella header for the coherence soundness verifier: diagnostic
+ * engine, lint pass manager, and the stale-marking oracle.
+ */
+
+#ifndef HSCD_VERIFY_VERIFY_HH
+#define HSCD_VERIFY_VERIFY_HH
+
+#include "verify/diagnostic.hh"
+#include "verify/oracle.hh"
+#include "verify/pass.hh"
+
+#endif // HSCD_VERIFY_VERIFY_HH
