@@ -27,6 +27,7 @@ BM_SimulateScheme(benchmark::State &state)
 {
     MachineConfig cfg;
     cfg.scheme = static_cast<SchemeKind>(state.range(0));
+    cfg.fastPath = state.range(1) != 0;
     cfg.procs = 8;
     Counter refs = 0;
     for (auto _ : state) {
@@ -64,11 +65,14 @@ BM_MarkingOnly(benchmark::State &state)
 
 } // namespace
 
+// Second argument selects the execution path: 1 = epoch-stream fast path
+// (the default in MachineConfig), 0 = legacy per-access HIR interpreter,
+// kept measurable so speedups are attributable.
 BENCHMARK(BM_SimulateScheme)
-    ->Arg(int(SchemeKind::Base))
-    ->Arg(int(SchemeKind::SC))
-    ->Arg(int(SchemeKind::TPI))
-    ->Arg(int(SchemeKind::HW));
+    ->ArgsProduct({{int(SchemeKind::Base), int(SchemeKind::SC),
+                    int(SchemeKind::TPI), int(SchemeKind::HW),
+                    int(SchemeKind::VC)},
+                   {1, 0}});
 BENCHMARK(BM_CompileBenchmark)->DenseRange(0, 5);
 BENCHMARK(BM_MarkingOnly);
 

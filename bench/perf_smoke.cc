@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Perf-regression smoke gate for the simulation core (ctest label
+ * "perf", see CMakePresets.json preset of the same name).
+ *
+ * Measures sustained simulated references per second for every scheme
+ * on the P1 microbenchmark workload (fast path on) and compares against
+ * the committed baseline in BENCH_p1.json. The first run - no baseline
+ * file - writes one and only warns; afterwards the test fails when any
+ * scheme drops more than 30% below its recorded rate, and ratchets the
+ * baseline up when a run beats it. Rates are the best of several short
+ * trials, and the ctest entry is RUN_SERIAL, so transient machine load
+ * does not fail the gate.
+ *
+ * The file format is deliberately trivial (one "NAME": rate pair per
+ * scheme) so this stays dependency-free; it is not a general JSON
+ * parser.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "compiler/analysis.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace hscd;
+
+namespace {
+
+constexpr double kFailBelowFraction = 0.70; ///< fail under 70% of baseline
+
+const SchemeKind kSchemes[] = {SchemeKind::Base, SchemeKind::SC,
+                               SchemeKind::TPI, SchemeKind::HW,
+                               SchemeKind::VC};
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-trials sustained refs/s for one scheme. */
+double
+measure(const compiler::CompiledProgram &cp, SchemeKind k)
+{
+    MachineConfig cfg;
+    cfg.scheme = k;
+    cfg.procs = 8;
+    cfg.fastPath = true;
+    (void)sim::simulate(cp, cfg); // warm up (builds the cached stream)
+
+    double best = 0;
+    for (int trial = 0; trial < 5; ++trial) {
+        Counter refs = 0;
+        double t0 = now(), elapsed = 0;
+        do {
+            sim::RunResult r = sim::simulate(cp, cfg);
+            refs += r.reads + r.writes;
+            elapsed = now() - t0;
+        } while (elapsed < 0.06);
+        best = std::max(best, double(refs) / elapsed);
+    }
+    return best;
+}
+
+std::map<std::string, double>
+readBaseline(const std::string &path)
+{
+    std::map<std::string, double> out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::size_t q1 = line.find('"');
+        if (q1 == std::string::npos)
+            continue;
+        std::size_t q2 = line.find('"', q1 + 1);
+        std::size_t colon = line.find(':', q2);
+        if (q2 == std::string::npos || colon == std::string::npos)
+            continue;
+        out[line.substr(q1 + 1, q2 - q1 - 1)] =
+            std::strtod(line.c_str() + colon + 1, nullptr);
+    }
+    return out;
+}
+
+bool
+writeBaseline(const std::string &path,
+              const std::map<std::string, double> &rates)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << "{\n";
+    std::size_t i = 0;
+    for (const auto &[name, rate] : rates) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.0f", rate);
+        os << "  \"" << name << "\": " << buf
+           << (++i == rates.size() ? "\n" : ",\n");
+    }
+    os << "}\n";
+    return bool(os);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string path = argc > 1 ? argv[1] : "BENCH_p1.json";
+    compiler::CompiledProgram cp =
+        compiler::compileProgram(workloads::microJacobi(256, 4));
+
+    std::map<std::string, double> baseline = readBaseline(path);
+    std::map<std::string, double> measured;
+    for (SchemeKind k : kSchemes)
+        measured[schemeName(k)] = measure(cp, k);
+
+    bool regressed = false;
+    std::map<std::string, double> next = baseline;
+    for (const auto &[name, rate] : measured) {
+        auto it = baseline.find(name);
+        if (it == baseline.end()) {
+            std::printf("perf_smoke: %-5s %12.0f refs/s (no baseline - "
+                        "recording)\n",
+                        name.c_str(), rate);
+            next[name] = rate;
+            continue;
+        }
+        double floor = it->second * kFailBelowFraction;
+        std::printf("perf_smoke: %-5s %12.0f refs/s (baseline %.0f, "
+                    "floor %.0f)%s\n",
+                    name.c_str(), rate, it->second, floor,
+                    rate < floor ? "  REGRESSION" : "");
+        if (rate < floor)
+            regressed = true;
+        else if (rate > it->second * 1.05)
+            next[name] = rate; // ratchet up, but ignore run-to-run jitter
+    }
+
+    if (regressed) {
+        std::fprintf(stderr,
+                     "perf_smoke: FAIL - at least one scheme is >%.0f%% "
+                     "below its recorded refs/s baseline (%s). If the "
+                     "slowdown is intentional, delete the file and rerun "
+                     "to re-record.\n",
+                     100.0 * (1.0 - kFailBelowFraction), path.c_str());
+        return 1;
+    }
+    if (next != baseline && !writeBaseline(path, next))
+        std::fprintf(stderr,
+                     "perf_smoke: warning: could not write %s "
+                     "(read-only checkout?)\n",
+                     path.c_str());
+    return 0;
+}

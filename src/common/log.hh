@@ -100,6 +100,20 @@ panic(const std::string &fmt, const Args &...args)
                           ::hscd::csprintf(__VA_ARGS__));                    \
     } while (0)
 
+/**
+ * Debug-only assert for per-reference hot loops (memory/cache word
+ * indexing). Release builds must not pay a bounds check per simulated
+ * reference, so this compiles away under NDEBUG; debug and sanitizer
+ * builds keep the full check.
+ */
+#ifdef NDEBUG
+#define hscd_dassert(cond, ...)                                              \
+    do {                                                                     \
+    } while (0)
+#else
+#define hscd_dassert(cond, ...) hscd_assert(cond, __VA_ARGS__)
+#endif
+
 } // namespace hscd
 
 #endif // HSCD_COMMON_LOG_HH

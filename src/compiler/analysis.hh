@@ -8,6 +8,8 @@
 #ifndef HSCD_COMPILER_ANALYSIS_HH
 #define HSCD_COMPILER_ANALYSIS_HH
 
+#include <memory>
+
 #include "compiler/epoch_graph.hh"
 #include "compiler/marking.hh"
 #include "compiler/summary.hh"
@@ -23,6 +25,14 @@ struct CompiledProgram
     Marking marking;
     std::vector<ProcSummary> summaries;
     AnalysisOptions options;
+
+    /**
+     * Lazily-built simulator-side artifacts (the epoch-stream cache of
+     * src/sim/stream.cc). Type-erased so the compiler layer stays
+     * independent of sim; guarded by a sim-side mutex, and tied to this
+     * program's lifetime so cached streams can never dangle.
+     */
+    mutable std::shared_ptr<void> simCache;
 };
 
 /** Run the whole pass pipeline (takes ownership of @p prog). */

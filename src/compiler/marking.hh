@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "compiler/epoch_graph.hh"
 
 namespace hscd {
@@ -104,7 +105,14 @@ class Marking
     static Marking run(const hir::Program &prog, const EpochGraph &graph,
                        const AnalysisOptions &opts = {});
 
-    const Mark &mark(hir::RefId id) const { return _marks.at(id); }
+    // Hot loop: the executor consults the mark table once per simulated
+    // reference, so release builds skip the bounds check.
+    const Mark &
+    mark(hir::RefId id) const
+    {
+        hscd_dassert(id < _marks.size(), "mark for unknown ref %d", id);
+        return _marks[id];
+    }
     const std::vector<Mark> &marks() const { return _marks; }
     const MarkingStats &stats() const { return _stats; }
 

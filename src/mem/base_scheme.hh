@@ -16,7 +16,7 @@
 namespace hscd {
 namespace mem {
 
-class BaseScheme : public CoherenceScheme
+class BaseScheme final : public CoherenceScheme
 {
   public:
     BaseScheme(const MachineConfig &cfg, MainMemory &memory,

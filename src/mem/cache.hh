@@ -11,7 +11,6 @@
 #ifndef HSCD_MEM_CACHE_HH
 #define HSCD_MEM_CACHE_HH
 
-#include <functional>
 #include <vector>
 
 #include "common/bitutil.hh"
@@ -37,21 +36,48 @@ class CacheArray
         Addr base = 0;                 ///< line-aligned address
         Cycles lastUse = 0;            ///< for LRU
         LineMeta meta{};
-        std::vector<WordMeta> words;
-        std::vector<ValueStamp> stamps;
+        /**
+         * wordsPerLine() entries each, aliasing the array's flat backing
+         * stores. Two big allocations per cache instead of two small ones
+         * per line: Machine construction happens once per simulated run,
+         * and tens of thousands of per-line vector allocations dominated
+         * short runs' wall clock.
+         */
+        WordMeta *words = nullptr;
+        ValueStamp *stamps = nullptr;
     };
 
-    CacheArray(const MachineConfig &cfg)
+    /**
+     * @param data_bytes upper bound on simulated addresses, or 0 for
+     * none. setOf() masks the line index by the set count, so when the
+     * whole address range maps into the first N sets, the remaining sets
+     * are unreachable and need not be allocated. Capping the set count at
+     * the next power of two >= N leaves the set of every reachable
+     * address unchanged while making construction cost proportional to
+     * the program's footprint instead of the configured cache size —
+     * which matters because a Machine is built per simulated run.
+     */
+    CacheArray(const MachineConfig &cfg, Addr data_bytes = 0)
         : _lineBytes(cfg.lineBytes), _assoc(cfg.assoc),
-          _sets(cfg.sets()),
-          _lines(_sets * _assoc)
+          _sets(reachableSets(cfg, data_bytes)),
+          _lines(_sets * _assoc),
+          _wordStore(_lines.size() * cfg.wordsPerLine()),
+          _stampStore(_lines.size() * cfg.wordsPerLine())
     {
         hscd_assert(isPowerOf2(_sets), "set count must be a power of two");
-        for (Line &l : _lines) {
-            l.words.resize(cfg.wordsPerLine());
-            l.stamps.resize(cfg.wordsPerLine());
+        const unsigned wpl = cfg.wordsPerLine();
+        for (std::size_t i = 0; i < _lines.size(); ++i) {
+            _lines[i].words = _wordStore.data() + i * wpl;
+            _lines[i].stamps = _stampStore.data() + i * wpl;
         }
     }
+
+    // Lines alias the backing stores; moving is safe (the stores' heap
+    // buffers move wholesale) but copying would alias the source.
+    CacheArray(const CacheArray &) = delete;
+    CacheArray &operator=(const CacheArray &) = delete;
+    CacheArray(CacheArray &&) = default;
+    CacheArray &operator=(CacheArray &&) = default;
 
     Addr lineAddr(Addr a) const { return a & ~Addr(_lineBytes - 1); }
     unsigned wordIndex(Addr a) const { return (a % _lineBytes) / 4; }
@@ -112,9 +138,14 @@ class CacheArray
         return *best;
     }
 
-    /** Invalidate every line for which @p pred returns true. */
+    /**
+     * Invalidate every line for which @p pred returns true. Templated
+     * (not std::function) so scheme epoch-boundary sweeps inline the
+     * predicate instead of paying an indirect call per line.
+     */
+    template <typename Pred>
     void
-    invalidateIf(const std::function<bool(Line &)> &pred)
+    invalidateIf(Pred &&pred)
     {
         for (Line &l : _lines)
             if (l.valid && pred(l))
@@ -122,8 +153,9 @@ class CacheArray
     }
 
     /** Visit every valid line. */
+    template <typename Fn>
     void
-    forEachLine(const std::function<void(Line &)> &fn)
+    forEachLine(Fn &&fn)
     {
         for (Line &l : _lines)
             if (l.valid)
@@ -133,6 +165,17 @@ class CacheArray
     std::size_t lineCount() const { return _lines.size(); }
 
   private:
+    static std::size_t
+    reachableSets(const MachineConfig &cfg, Addr data_bytes)
+    {
+        std::size_t sets = cfg.sets();
+        if (data_bytes == 0)
+            return sets;
+        Addr data_lines = divCeil(data_bytes, cfg.lineBytes);
+        std::size_t reachable = std::size_t{1} << ceilLog2(data_lines);
+        return reachable < sets ? reachable : sets;
+    }
+
     std::size_t setOf(Addr base) const
     {
         return (base / _lineBytes) & (_sets - 1);
@@ -142,6 +185,8 @@ class CacheArray
     unsigned _assoc;
     std::size_t _sets;
     std::vector<Line> _lines;
+    std::vector<WordMeta> _wordStore;
+    std::vector<ValueStamp> _stampStore;
 };
 
 } // namespace mem

@@ -18,19 +18,25 @@ DirectoryScheme::DirectoryScheme(const MachineConfig &cfg,
                 "full-map presence bits limited to 64 processors here");
     _caches.reserve(cfg.procs);
     for (unsigned p = 0; p < cfg.procs; ++p)
-        _caches.emplace_back(cfg);
+        _caches.emplace_back(cfg, Addr(memory.words()) * 4);
 }
 
 DirEntry &
 DirectoryScheme::entry(Addr addr)
 {
-    return _dir.at(lineIndex(addr));
+    hscd_dassert(lineIndex(addr) < _dir.size(),
+                 "directory entry for %d beyond %d lines", addr,
+                 _dir.size());
+    return _dir[lineIndex(addr)];
 }
 
 const DirEntry &
 DirectoryScheme::dirEntry(Addr addr) const
 {
-    return _dir.at(lineIndex(addr));
+    hscd_dassert(lineIndex(addr) < _dir.size(),
+                 "directory entry for %d beyond %d lines", addr,
+                 _dir.size());
+    return _dir[lineIndex(addr)];
 }
 
 void

@@ -44,7 +44,7 @@ struct DirEntry
     bool overflowed = false;
 };
 
-class DirectoryScheme : public CoherenceScheme
+class DirectoryScheme final : public CoherenceScheme
 {
   public:
     DirectoryScheme(const MachineConfig &cfg, MainMemory &memory,

@@ -114,6 +114,8 @@ MachineConfig::params()
                 "sequential instead of weak consistency")
         .define("shadow_check", "false",
                 "shadow-epoch race detector: flag stale cache hits")
+        .define("fastpath", "true",
+                "epoch-stream fast path (false = interpreted oracle)")
         .define("network", "min",
                 "interconnect topology: min|torus3d");
     return p;
@@ -140,6 +142,7 @@ MachineConfig::fromParams(const Params &p)
     c.migrationRate = p.getDouble("migration_rate");
     c.sequentialConsistency = p.getBool("seq_consistency");
     c.shadowEpochCheck = p.getBool("shadow_check");
+    c.fastPath = p.getBool("fastpath");
     c.topology = parseTopology(p.getString("network"));
     c.validate();
     return c;

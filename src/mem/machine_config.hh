@@ -109,6 +109,18 @@ struct MachineConfig
      * it should not have. Off by default (verification runs only).
      */
     bool shadowEpochCheck = false;
+    /**
+     * Epoch-stream fast path: compile the program's per-processor
+     * reference sequences into flat streams once (cached on the
+     * CompiledProgram) and drive a devirtualized per-scheme access loop
+     * from them, instead of re-walking HIR statements per reference.
+     * Produces byte-identical RunResults; the interpreted path is kept
+     * compiled (fastPath = false) as the equivalence-test oracle, and is
+     * also used automatically whenever a program/config combination is
+     * ineligible for streaming (dynamic self-scheduling, alternating
+     * branches inside DOALL bodies).
+     */
+    bool fastPath = true;
 
     unsigned wordsPerLine() const { return lineBytes / 4; }
     std::uint64_t lines() const { return cacheBytes / lineBytes; }

@@ -30,16 +30,25 @@ class MainMemory
         : _words(bytes / 4 + 1, 0)
     {}
 
+    // Hot loop: every simulated reference lands here at least once, so
+    // release builds use unchecked indexing (addresses are produced by
+    // Program::elementAddr, which already range-checks subscripts).
     ValueStamp
     read(Addr addr) const
     {
-        return _words.at(addr / 4);
+        hscd_dassert(addr / 4 < _words.size(),
+                     "memory read at %d beyond %d words", addr,
+                     _words.size());
+        return _words[addr / 4];
     }
 
     void
     write(Addr addr, ValueStamp stamp)
     {
-        _words.at(addr / 4) = stamp;
+        hscd_dassert(addr / 4 < _words.size(),
+                     "memory write at %d beyond %d words", addr,
+                     _words.size());
+        _words[addr / 4] = stamp;
     }
 
     std::size_t words() const { return _words.size(); }

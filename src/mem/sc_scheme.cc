@@ -13,7 +13,7 @@ ScScheme::ScScheme(const MachineConfig &cfg, MainMemory &memory,
     _caches.reserve(cfg.procs);
     _wbuf.reserve(cfg.procs);
     for (unsigned p = 0; p < cfg.procs; ++p) {
-        _caches.emplace_back(cfg);
+        _caches.emplace_back(cfg, Addr(memory.words()) * 4);
         _wbuf.emplace_back(cfg.writeBufferAsCache,
                            cfg.writeBufferCacheWords);
     }

@@ -23,7 +23,7 @@
 namespace hscd {
 namespace mem {
 
-class ScScheme : public CoherenceScheme
+class ScScheme final : public CoherenceScheme
 {
   public:
     ScScheme(const MachineConfig &cfg, MainMemory &memory,

@@ -16,7 +16,7 @@ TpiScheme::TpiScheme(const MachineConfig &cfg, MainMemory &memory,
     _caches.reserve(cfg.procs);
     _wbuf.reserve(cfg.procs);
     for (unsigned p = 0; p < cfg.procs; ++p) {
-        _caches.emplace_back(cfg);
+        _caches.emplace_back(cfg, Addr(memory.words()) * 4);
         _wbuf.emplace_back(cfg.writeBufferAsCache,
                            cfg.writeBufferCacheWords);
     }
@@ -214,9 +214,11 @@ TpiScheme::epochBoundary(EpochId new_epoch)
     if (new_epoch % _phase == 0 && new_epoch >= _phase) {
         EpochId cutoff = new_epoch - _phase;
         for (unsigned p = 0; p < _cfg.procs; ++p) {
+            const unsigned wpl = _caches[p].wordsPerLine();
             _caches[p].forEachLine([&](Cache::Line &line) {
                 bool any_valid = false;
-                for (TpiWord &w : line.words) {
+                for (unsigned wi = 0; wi < wpl; ++wi) {
+                    TpiWord &w = line.words[wi];
                     if (w.valid && w.tt < cutoff)
                         w.valid = false;
                     any_valid |= w.valid;

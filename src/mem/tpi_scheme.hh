@@ -42,7 +42,7 @@ struct TpiWord
     bool valid = false;
 };
 
-class TpiScheme : public CoherenceScheme
+class TpiScheme final : public CoherenceScheme
 {
   public:
     TpiScheme(const MachineConfig &cfg, MainMemory &memory,

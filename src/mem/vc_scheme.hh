@@ -50,7 +50,7 @@ struct VcLine
     std::uint32_t arrayId = static_cast<std::uint32_t>(-1);
 };
 
-class VcScheme : public CoherenceScheme
+class VcScheme final : public CoherenceScheme
 {
   public:
     VcScheme(const MachineConfig &cfg, MainMemory &memory,

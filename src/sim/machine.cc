@@ -3,17 +3,22 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
-#include <functional>
 #include <map>
+#include <memory>
 #include <queue>
 #include <set>
-#include <sstream>
-#include <unordered_map>
+#include <utility>
 
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "common/strutil.hh"
+#include "mem/base_scheme.hh"
+#include "mem/directory_scheme.hh"
+#include "mem/sc_scheme.hh"
+#include "mem/tpi_scheme.hh"
+#include "mem/vc_scheme.hh"
 #include "sim/interp.hh"
+#include "sim/stream.hh"
 #include "sim/trace.hh"
 
 namespace hscd {
@@ -78,6 +83,15 @@ RunResult::summary() const
 /**
  * Execution engine: walks the program with a master serial stream and
  * interleaves parallel-epoch task streams in global time order.
+ *
+ * Two sources can feed the engine. The interpreted path walks HIR
+ * statements through TaskStream per reference; the epoch-stream fast
+ * path (sim/stream.hh) replays a pre-recorded flat op stream instead.
+ * Both funnel every operation through the same issueRef/merge/boundary
+ * machinery, templated on the concrete coherence scheme so the
+ * per-reference access call is direct rather than virtual; results are
+ * byte-identical by construction (and enforced by the equivalence
+ * tests).
  */
 class Executor
 {
@@ -88,6 +102,8 @@ class Executor
           _lastStamp(m._memory.words(), 0),
           _procTime(m._cfg.procs, 0),
           _busy(m._cfg.procs, 0),
+          _epochAccess(m._memory.words()),
+          _inCritical(m._cfg.procs, 0),
           _rng(m._cfg.migrationSeed)
     {
         if (_cfg.shadowEpochCheck) {
@@ -99,6 +115,163 @@ class Executor
     RunResult
     run()
     {
+        std::shared_ptr<const StreamProgram> sp;
+        if (_cfg.fastPath)
+            sp = epochStream(_m._cp, _cfg);
+        switch (_cfg.scheme) {
+          case SchemeKind::Base:
+            return dispatch(static_cast<mem::BaseScheme &>(_scheme), sp);
+          case SchemeKind::SC:
+            return dispatch(static_cast<mem::ScScheme &>(_scheme), sp);
+          case SchemeKind::TPI:
+            return dispatch(static_cast<mem::TpiScheme &>(_scheme), sp);
+          case SchemeKind::HW:
+            return dispatch(static_cast<mem::DirectoryScheme &>(_scheme),
+                            sp);
+          case SchemeKind::VC:
+            return dispatch(static_cast<mem::VcScheme &>(_scheme), sp);
+        }
+        panic("unknown scheme kind");
+    }
+
+  private:
+    /**
+     * One operation as the engine consumes it: a TaskOp with the
+     * compiler's per-reference facts (mark, distance, criticality)
+     * already attached. The interpreted path fills those from the mark
+     * table per reference; the fast path recorded them in the stream.
+     */
+    struct ExecOp
+    {
+        TaskOp::Kind kind = TaskOp::Kind::End;
+        Addr addr = 0;
+        bool write = false;
+        bool markCritical = false;
+        MarkKind mark = MarkKind::Normal;
+        std::uint32_t distance = 0;
+        hir::RefId ref = hir::invalidRef;
+        hir::ArrayId array = hir::invalidArray;
+        std::int64_t aux = 0;  ///< Compute cycles or sync flag
+    };
+
+    /** Replays one processor's recorded epoch stream as ExecOps. */
+    class StreamCursor
+    {
+      public:
+        explicit StreamCursor(const std::vector<StreamOp> *ops)
+            : _ops(ops)
+        {}
+
+        /** Next record, or nullptr at end; tracks IterStart markers. */
+        const StreamOp *
+        next()
+        {
+            while (_idx < _ops->size()) {
+                const StreamOp &r = (*_ops)[_idx++];
+                if (r.kind == StreamOp::Kind::IterStart) {
+                    _iter = r.aux;
+                    continue;
+                }
+                return &r;
+            }
+            return nullptr;
+        }
+
+        /** Iteration of the record last returned (-1 before the first). */
+        std::int64_t iter() const { return _iter; }
+
+      private:
+        const std::vector<StreamOp> *_ops;
+        std::size_t _idx = 0;
+        std::int64_t _iter = -1;
+    };
+
+    ExecOp
+    toExec(const TaskOp &op) const
+    {
+        ExecOp e;
+        e.kind = op.kind;
+        switch (op.kind) {
+          case TaskOp::Kind::Ref: {
+            e.addr = op.addr;
+            e.write = op.write;
+            e.ref = op.ref;
+            e.array = op.array;
+            const compiler::Mark &mark = _marking.mark(op.ref);
+            e.markCritical =
+                mark.reason == compiler::MarkReason::Critical;
+            if (!op.write) {
+                e.mark = mark.kind;
+                e.distance = mark.distance;
+            }
+            break;
+          }
+          case TaskOp::Kind::Compute:
+            e.aux = static_cast<std::int64_t>(op.cycles);
+            break;
+          case TaskOp::Kind::Post:
+          case TaskOp::Kind::Wait:
+            e.aux = op.flag;
+            break;
+          default:
+            break;
+        }
+        return e;
+    }
+
+    ExecOp
+    toExec(const StreamOp &rec) const
+    {
+        ExecOp e;
+        switch (rec.kind) {
+          case StreamOp::Kind::Ref:
+            e.kind = TaskOp::Kind::Ref;
+            e.addr = rec.addr;
+            e.write = rec.write;
+            e.ref = rec.ref;
+            e.array = rec.array;
+            e.markCritical = rec.markCritical;
+            e.mark = rec.mark;
+            e.distance = rec.distance;
+            break;
+          case StreamOp::Kind::Compute:
+            e.kind = TaskOp::Kind::Compute;
+            e.aux = rec.aux;
+            break;
+          case StreamOp::Kind::LockAcquire:
+            e.kind = TaskOp::Kind::LockAcquire;
+            break;
+          case StreamOp::Kind::LockRelease:
+            e.kind = TaskOp::Kind::LockRelease;
+            break;
+          case StreamOp::Kind::Post:
+            e.kind = TaskOp::Kind::Post;
+            e.aux = rec.aux;
+            break;
+          case StreamOp::Kind::Wait:
+            e.kind = TaskOp::Kind::Wait;
+            e.aux = rec.aux;
+            break;
+          case StreamOp::Kind::CallBoundary:
+            e.kind = TaskOp::Kind::CallBoundary;
+            break;
+          default:
+            panic("stream record has no executor mapping");
+        }
+        return e;
+    }
+
+    template <class Scheme>
+    RunResult
+    dispatch(Scheme &scheme, const std::shared_ptr<const StreamProgram> &sp)
+    {
+        return sp ? runStream(scheme, *sp) : runInterp(scheme);
+    }
+
+    template <class Scheme>
+    RunResult
+    runInterp(Scheme &scheme)
+    {
         RunCtx ctx;
         TaskStream master(_prog, ctx, _prog.main().body);
         while (true) {
@@ -107,47 +280,19 @@ class Executor
                 break;
             switch (op.kind) {
               case TaskOp::Kind::Ref:
-                issueRef(_serialProc, op, -1);
-                break;
-              case TaskOp::Kind::Compute:
-                _procTime[_serialProc] += op.cycles;
-                break;
-              case TaskOp::Kind::LockAcquire:
-                _procTime[_serialProc] += _cfg.lockCycles;
-                _inCritical[_serialProc] = true;
-                break;
-              case TaskOp::Kind::LockRelease:
-                _inCritical[_serialProc] = false;
-                break;
-              case TaskOp::Kind::Post:
-                // Release semantics: pending writes drain first.
-                _procTime[_serialProc] =
-                    std::max(_procTime[_serialProc],
-                             _scheme.writeDrainTime(_serialProc));
-                _serialPosted.insert(op.flag);
-                break;
-              case TaskOp::Kind::Wait:
-                if (!_serialPosted.count(op.flag))
-                    fatal("serial wait(%d) with no prior post: deadlock",
-                          op.flag);
-                _procTime[_serialProc] += _cfg.lockCycles;
-                break;
-              case TaskOp::Kind::CallBoundary:
-                if (_cfg.flushAtCalls) {
-                    _scheme.flushCache(_serialProc);
-                    _procTime[_serialProc] += _cfg.callFlushCycles;
-                }
+                issueRef(scheme, _serialProc, toExec(op), -1);
                 break;
               case TaskOp::Kind::Barrier:
                 boundary();
                 break;
               case TaskOp::Kind::BeginDoall:
                 boundary();
-                runParallel(op, master.env(), ctx);
+                runParallelInterp(scheme, op, master.env(), ctx);
                 boundary();
                 migrateSerialTask();
                 break;
-              case TaskOp::Kind::End:
+              default:
+                serialOp(op.kind, toExec(op).aux);
                 break;
             }
         }
@@ -155,7 +300,74 @@ class Executor
         return _res;
     }
 
-  private:
+    template <class Scheme>
+    RunResult
+    runStream(Scheme &scheme, const StreamProgram &sp)
+    {
+        for (const StreamOp &rec : sp.master) {
+            switch (rec.kind) {
+              case StreamOp::Kind::Ref:
+                issueRef(scheme, _serialProc, toExec(rec), -1);
+                break;
+              case StreamOp::Kind::Barrier:
+                boundary();
+                break;
+              case StreamOp::Kind::BeginDoall:
+                boundary();
+                runParallelStream(
+                    scheme,
+                    sp.epochs[static_cast<std::size_t>(rec.aux)]);
+                boundary();
+                migrateSerialTask();
+                break;
+              default:
+                serialOp(toExec(rec).kind, rec.aux);
+                break;
+            }
+        }
+        finish();
+        return _res;
+    }
+
+    /** Serial-mode ops other than Ref/Barrier/BeginDoall. */
+    void
+    serialOp(TaskOp::Kind kind, std::int64_t aux)
+    {
+        switch (kind) {
+          case TaskOp::Kind::Compute:
+            _procTime[_serialProc] += static_cast<Cycles>(aux);
+            break;
+          case TaskOp::Kind::LockAcquire:
+            _procTime[_serialProc] += _cfg.lockCycles;
+            _inCritical[_serialProc] = 1;
+            break;
+          case TaskOp::Kind::LockRelease:
+            _inCritical[_serialProc] = 0;
+            break;
+          case TaskOp::Kind::Post:
+            // Release semantics: pending writes drain first.
+            _procTime[_serialProc] =
+                std::max(_procTime[_serialProc],
+                         _scheme.writeDrainTime(_serialProc));
+            _serialPosted.insert(aux);
+            break;
+          case TaskOp::Kind::Wait:
+            if (!_serialPosted.count(aux))
+                fatal("serial wait(%d) with no prior post: deadlock",
+                      aux);
+            _procTime[_serialProc] += _cfg.lockCycles;
+            break;
+          case TaskOp::Kind::CallBoundary:
+            if (_cfg.flushAtCalls) {
+                _scheme.flushCache(_serialProc);
+                _procTime[_serialProc] += _cfg.callFlushCycles;
+            }
+            break;
+          default:
+            panic("unexpected op in the serial master stream");
+        }
+    }
+
     /**
      * The paper's Section 5 migration study: between epochs the serial
      * task may be rescheduled onto another processor. Sound only when the
@@ -196,7 +408,7 @@ class Executor
         for (ProcId p = 0; p < _cfg.procs; ++p)
             _procTime[p] = t;
         _m._network.endWindow(t);
-        _epochAccess.clear();
+        ++_accessGen; // invalidates every per-epoch access record
         _serialPosted.clear();
         ++_res.epochs;
     }
@@ -253,11 +465,16 @@ class Executor
     void
     checkLegality(Addr addr, std::int64_t task, bool write, bool critical)
     {
-        auto [it, inserted] = _epochAccess.try_emplace(
-            addr / 4, AccessRec{task, write, critical});
-        if (inserted)
+        hscd_dassert(addr / 4 < _epochAccess.size(),
+                     "access record for address %#x out of range", addr);
+        AccessRec &rec = _epochAccess[addr / 4];
+        if (rec.gen != _accessGen) {
+            rec.gen = _accessGen;
+            rec.task = task;
+            rec.wrote = write;
+            rec.critical = critical;
             return;
-        AccessRec &rec = it->second;
+        }
         // Post/wait epochs may pass data between tasks legally; ordering
         // correctness is still checked by the value-stamp oracle.
         if (!_syncEpoch && rec.task != task && (write || rec.wrote) &&
@@ -269,12 +486,12 @@ class Executor
             rec.task = task; // track the latest toucher
     }
 
+    template <class Scheme>
     void
-    issueRef(ProcId proc, const TaskOp &op, std::int64_t task)
+    issueRef(Scheme &scheme, ProcId proc, const ExecOp &op,
+             std::int64_t task)
     {
-        const compiler::Mark &mark = _marking.mark(op.ref);
-        bool critical = mark.reason == compiler::MarkReason::Critical ||
-                        _inCritical[proc];
+        bool critical = op.markCritical || _inCritical[proc] != 0;
         checkLegality(op.addr, task, op.write, critical);
 
         MemOp mop;
@@ -285,7 +502,7 @@ class Executor
         // Lock- or sync-ordered epochs allow another task to write the
         // same word later in the epoch; TPI must not vouch for such
         // writes beyond EC - 1.
-        mop.critical = _inCritical[proc] || _syncEpoch;
+        mop.critical = _inCritical[proc] != 0 || _syncEpoch;
         mop.now = _procTime[proc];
         if (op.write) {
             mop.stamp = ++_stampCounter;
@@ -295,13 +512,13 @@ class Executor
                 _shadowWriterEpoch[op.addr / 4] = _epoch;
             }
         } else {
-            mop.mark = mark.kind;
-            mop.distance = mark.distance;
+            mop.mark = op.mark;
+            mop.distance = op.distance;
         }
 
         if (_m._trace)
             _m._trace->onAccess(mop);
-        mem::AccessResult res = _scheme.access(mop);
+        mem::AccessResult res = scheme.access(mop);
         _procTime[proc] += res.stall;
 
         if (!op.write) {
@@ -339,53 +556,19 @@ class Executor
         auto it = _doallSync.find(loop);
         if (it != _doallSync.end())
             return it->second;
-        std::function<bool(const hir::StmtList &)> scan =
-            [&](const hir::StmtList &body) {
-                for (const auto &s : body) {
-                    switch (s->kind()) {
-                      case hir::StmtKind::Sync:
-                        return true;
-                      case hir::StmtKind::Loop:
-                        if (scan(static_cast<const hir::LoopStmt &>(*s)
-                                     .body))
-                            return true;
-                        break;
-                      case hir::StmtKind::IfUnknown: {
-                        const auto &br =
-                            static_cast<const hir::IfUnknownStmt &>(*s);
-                        if (scan(br.thenBody) || scan(br.elseBody))
-                            return true;
-                        break;
-                      }
-                      case hir::StmtKind::Critical:
-                        if (scan(static_cast<const hir::CriticalStmt &>(
-                                     *s).body))
-                            return true;
-                        break;
-                      case hir::StmtKind::Call:
-                        if (scan(_prog.procedures()
-                                     [static_cast<const hir::CallStmt &>(
-                                          *s).callee].body))
-                            return true;
-                        break;
-                      default:
-                        break;
-                    }
-                }
-                return false;
-            };
-        bool has = scan(loop->body);
+        bool has = doallBodyHasSync(_prog, *loop);
         _doallSync[loop] = has;
         return has;
     }
 
+    template <class Scheme>
     void
-    runParallel(const TaskOp &doall, const hir::Env &outer, RunCtx &ctx)
+    runParallelInterp(Scheme &scheme, const TaskOp &doall,
+                      const hir::Env &outer, RunCtx &ctx)
     {
         ++_res.parallelEpochs;
         _syncEpoch = doallHasSync(doall.doall);
         const unsigned P = _cfg.procs;
-        const Cycles epoch_start = _procTime[0]; // all equal post-barrier
 
         std::vector<std::unique_ptr<TaskStream>> streams;
         streams.reserve(P);
@@ -423,7 +606,65 @@ class Executor
             break;
         }
 
-        // Global-time interleaving.
+        mergeEpoch(
+            scheme,
+            [&](ProcId p) { return toExec(streams[p]->next()); },
+            [&](ProcId p) { return streams[p]->currentIteration(); },
+            [&](ProcId p) {
+                if (_cfg.sched == SchedPolicy::Dynamic &&
+                    next_dyn < iters.size())
+                {
+                    for (unsigned c = 0;
+                         c < _cfg.dynamicChunk && next_dyn < iters.size();
+                         ++c)
+                        streams[p]->addIteration(iters[next_dyn++]);
+                    return true;
+                }
+                return false;
+            });
+    }
+
+    template <class Scheme>
+    void
+    runParallelStream(Scheme &scheme, const EpochStream &ep)
+    {
+        ++_res.parallelEpochs;
+        _syncEpoch = ep.hasSync;
+        _res.tasks += ep.taskCount;
+        const unsigned P = _cfg.procs;
+        hscd_dassert(ep.perProc.size() == P,
+                     "stream recorded for a different processor count");
+
+        std::vector<StreamCursor> cursors;
+        cursors.reserve(P);
+        for (unsigned p = 0; p < P; ++p)
+            cursors.emplace_back(&ep.perProc[p]);
+
+        mergeEpoch(
+            scheme,
+            [&](ProcId p) {
+                const StreamOp *r = cursors[p].next();
+                return r ? toExec(*r) : ExecOp{};
+            },
+            [&](ProcId p) { return cursors[p].iter(); },
+            [](ProcId) { return false; });
+    }
+
+    /**
+     * Global-time interleaving of one parallel epoch. @p nextOp yields
+     * the next operation of processor p's task stream, @p iterOf its
+     * current iteration (the legality checker's task id), and @p onEnd
+     * runs when a stream is exhausted, returning true to re-queue the
+     * processor (dynamic self-scheduling refill).
+     */
+    template <class Scheme, class NextFn, class IterFn, class EndFn>
+    void
+    mergeEpoch(Scheme &scheme, NextFn &&nextOp, IterFn &&iterOf,
+               EndFn &&onEnd)
+    {
+        const unsigned P = _cfg.procs;
+        const Cycles epoch_start = _procTime[0]; // all equal post-barrier
+
         using Entry = std::pair<Cycles, ProcId>;
         std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
         for (unsigned p = 0; p < P; ++p)
@@ -439,14 +680,14 @@ class Executor
         while (!pq.empty()) {
             auto [t, p] = pq.top();
             pq.pop();
-            TaskOp op = streams[p]->next();
+            ExecOp op = nextOp(p);
             switch (op.kind) {
               case TaskOp::Kind::Ref:
-                issueRef(p, op, streams[p]->currentIteration());
+                issueRef(scheme, p, op, iterOf(p));
                 pq.emplace(_procTime[p], p);
                 break;
               case TaskOp::Kind::Compute:
-                _procTime[p] += op.cycles;
+                _procTime[p] += static_cast<Cycles>(op.aux);
                 pq.emplace(_procTime[p], p);
                 break;
               case TaskOp::Kind::LockAcquire:
@@ -457,7 +698,7 @@ class Executor
                 } else if (lock_owner == invalidProc) {
                     lock_owner = p;
                     lock_depth = 1;
-                    _inCritical[p] = true;
+                    _inCritical[p] = 1;
                     _procTime[p] += _cfg.lockCycles;
                     pq.emplace(_procTime[p], p);
                 } else {
@@ -470,7 +711,7 @@ class Executor
                     pq.emplace(_procTime[p], p);
                     break;
                 }
-                _inCritical[p] = false;
+                _inCritical[p] = 0;
                 lock_owner = invalidProc;
                 if (!lock_waiters.empty()) {
                     ProcId q = lock_waiters.front();
@@ -480,7 +721,7 @@ class Executor
                         _cfg.lockCycles;
                     lock_owner = q;
                     lock_depth = 1;
-                    _inCritical[q] = true;
+                    _inCritical[q] = 1;
                     pq.emplace(_procTime[q], q);
                 }
                 pq.emplace(_procTime[p], p);
@@ -490,8 +731,8 @@ class Executor
                 // Release: drain the poster's write buffer first.
                 _procTime[p] =
                     std::max(_procTime[p], _scheme.writeDrainTime(p));
-                posted.emplace(op.flag, _procTime[p]);
-                auto wit = sync_waiters.find(op.flag);
+                posted.emplace(op.aux, _procTime[p]);
+                auto wit = sync_waiters.find(op.aux);
                 if (wit != sync_waiters.end()) {
                     for (ProcId q : wit->second) {
                         _procTime[q] =
@@ -506,14 +747,14 @@ class Executor
                 break;
               }
               case TaskOp::Kind::Wait: {
-                auto pit = posted.find(op.flag);
+                auto pit = posted.find(op.aux);
                 if (pit != posted.end()) {
                     _procTime[p] =
                         std::max(_procTime[p], pit->second) +
                         _cfg.lockCycles;
                     pq.emplace(_procTime[p], p);
                 } else {
-                    sync_waiters[op.flag].push_back(p);
+                    sync_waiters[op.aux].push_back(p);
                     ++parked;
                 }
                 break;
@@ -526,15 +767,8 @@ class Executor
                 pq.emplace(_procTime[p], p);
                 break;
               case TaskOp::Kind::End:
-                if (_cfg.sched == SchedPolicy::Dynamic &&
-                    next_dyn < iters.size())
-                {
-                    for (unsigned c = 0;
-                         c < _cfg.dynamicChunk && next_dyn < iters.size();
-                         ++c)
-                        streams[p]->addIteration(iters[next_dyn++]);
+                if (onEnd(p))
                     pq.emplace(_procTime[p], p);
-                }
                 break;
               default:
                 panic("unexpected op in a task stream");
@@ -557,9 +791,10 @@ class Executor
 
     struct AccessRec
     {
-        std::int64_t task;
-        bool wrote;
-        bool critical;
+        std::int64_t task = 0;
+        std::uint64_t gen = 0;  ///< epoch generation tag (0 = never)
+        bool wrote = false;
+        bool critical = false;
     };
 
     Machine &_m;
@@ -576,8 +811,15 @@ class Executor
     std::vector<Cycles> _procTime;
     std::vector<Cycles> _busy;
     Cycles _parallelWall = 0;
-    std::unordered_map<std::uint64_t, AccessRec> _epochAccess;
-    std::unordered_map<ProcId, bool> _inCritical;
+    /**
+     * Per-epoch access records, flat-indexed by word with a generation
+     * tag instead of a hash map keyed by address: the legality check
+     * runs once per simulated reference, and bumping the generation at
+     * each boundary replaces the per-epoch clear.
+     */
+    std::vector<AccessRec> _epochAccess;
+    std::uint64_t _accessGen = 1;
+    std::vector<char> _inCritical;
     std::set<std::int64_t> _serialPosted;
     std::map<const hir::LoopStmt *, bool> _doallSync;
     bool _syncEpoch = false;

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Epoch-stream fast path: the program's reference sequences, compiled
+ * once into flat per-processor streams.
+ *
+ * The execution-driven engine normally re-walks HIR statements for every
+ * simulated reference (frame stack, environment lookups, subscript
+ * expression trees). For a fixed (program, procs, schedule) the sequence
+ * of operations each processor performs is deterministic, so it can be
+ * recorded once - by the same TaskStream interpreter that the legacy
+ * path uses - into a flat, cache-friendly stream and replayed on every
+ * subsequent run. A StreamOp is the trace machinery's Access record
+ * (sim/trace.hh) stripped of its run-time fields (stamp, clock,
+ * criticality) and extended with the static compiler facts the executor
+ * would otherwise look up per reference (mark kind, Time-Read distance,
+ * critical-section marking); the executor patches the dynamic fields in
+ * at issue time, exactly as the interpreted path computes them.
+ *
+ * The contract is strict equivalence: a fast-path run produces a
+ * byte-identical RunResult to the interpreted run (enforced by
+ * tests/test_fastpath_equiv.cc). Two program/config shapes make the
+ * recorded stream timing-dependent and are therefore ineligible -
+ * dynamic self-scheduling (iteration placement depends on completion
+ * order) and Alternate-policy unknown branches inside DOALL bodies
+ * (the shared alternation counter makes branch outcomes depend on the
+ * cross-processor interleaving). Those fall back to the interpreter.
+ *
+ * Streams are cached on the CompiledProgram itself (keyed by the config
+ * fields that shape the stream), so sweeps that re-simulate one workload
+ * under many machine configurations pay for interpretation once.
+ */
+
+#ifndef HSCD_SIM_STREAM_HH
+#define HSCD_SIM_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compiler/analysis.hh"
+#include "mem/machine_config.hh"
+
+namespace hscd {
+namespace sim {
+
+/** One recorded operation of an epoch stream (32 bytes, flat). */
+struct StreamOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Ref,          ///< one memory reference
+        Compute,      ///< burn aux cycles
+        LockAcquire,  ///< enter the (single global) critical section
+        LockRelease,  ///< leave the critical section
+        Post,         ///< post synchronization flag aux
+        Wait,         ///< block on synchronization flag aux
+        CallBoundary, ///< procedure entry/return
+        Barrier,      ///< master only: explicit epoch boundary
+        BeginDoall,   ///< master only: run parallel epoch aux
+        IterStart,    ///< task streams only: iteration aux begins
+    };
+
+    Addr addr = 0;                ///< Ref: word address
+    std::int64_t aux = 0;         ///< cycles / flag / epoch index / iter
+    hir::RefId ref = hir::invalidRef;
+    std::uint32_t array = static_cast<std::uint32_t>(-1);
+    std::uint32_t distance = 0;   ///< Ref (read): Time-Read operand
+    compiler::MarkKind mark = compiler::MarkKind::Normal;
+    Kind kind = Kind::Ref;
+    bool write = false;
+    /** Ref: the compiler marked this reference Critical. */
+    bool markCritical = false;
+};
+
+/** One parallel epoch, pre-scheduled onto processors. */
+struct EpochStream
+{
+    bool hasSync = false;             ///< body contains post/wait
+    Counter taskCount = 0;            ///< DOALL iterations
+    std::vector<std::vector<StreamOp>> perProc;
+};
+
+/** A whole program, flattened for one (procs, schedule) shape. */
+struct StreamProgram
+{
+    /** Serial master ops; BeginDoall records index into epochs. */
+    std::vector<StreamOp> master;
+    std::vector<EpochStream> epochs;
+
+    /** Total recorded ops (master plus every epoch stream). */
+    std::size_t opCount() const;
+};
+
+/**
+ * Can (program, cfg) take the fast path at all? False for dynamic
+ * self-scheduling and for Alternate-policy branches reachable inside a
+ * parallel loop body (see file comment). Independent of cfg.fastPath -
+ * callers gate on the flag separately.
+ */
+bool streamEligible(const compiler::CompiledProgram &cp,
+                    const MachineConfig &cfg);
+
+/**
+ * The stream for (cp, cfg), built on first use and cached on @p cp
+ * (thread-safe, insert-once; bounded by an LRU byte budget per
+ * program). Returns nullptr when the combination is ineligible or the
+ * recording would exceed the hard size cap - callers must then use the
+ * interpreted path.
+ */
+std::shared_ptr<const StreamProgram>
+epochStream(const compiler::CompiledProgram &cp, const MachineConfig &cfg);
+
+/**
+ * Record a stream without consulting the cache (test hook; also the
+ * cache's builder). Returns nullptr exactly when streamEligible is
+ * false or the op cap is exceeded.
+ */
+std::shared_ptr<const StreamProgram>
+buildStreamProgram(const compiler::CompiledProgram &cp,
+                   const MachineConfig &cfg);
+
+/** Does a DOALL body (transitively) contain post/wait? */
+bool doallBodyHasSync(const hir::Program &prog, const hir::LoopStmt &loop);
+
+} // namespace sim
+} // namespace hscd
+
+#endif // HSCD_SIM_STREAM_HH

@@ -138,7 +138,12 @@ TEST(CacheArray, PerWordMetadataSized)
     cfg.cacheBytes = 512;
     CacheArray<Tag> c(cfg);
     auto &l = c.victim(0x100, 1);
-    EXPECT_EQ(l.words.size(), 8u);
-    EXPECT_EQ(l.stamps.size(), 8u);
+    ASSERT_EQ(c.wordsPerLine(), 8u);
+    // Every line's word metadata is default-initialized and writable
+    // across the whole line (the flat backing store is sized for it).
     EXPECT_EQ(l.words[3].v, 7);
+    l.words[7].v = 11;
+    l.stamps[7] = 42;
+    EXPECT_EQ(l.words[7].v, 11);
+    EXPECT_EQ(l.stamps[7], 42u);
 }

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "program_gen.hh"
 #include "sim/machine.hh"
 #include "sim/trace.hh"
 #include "workloads/workloads.hh"
@@ -123,6 +124,116 @@ TEST(Trace, CrossSchemeReplay)
     ReplayResult rv = replayTrace(c.records, vc, c.dataBytes);
     EXPECT_EQ(rv.reads, c.run.reads)
         << "traces carry the array ids the VC scheme needs";
+}
+
+TEST(Trace, RoundTripPropertyOverGenPrograms)
+{
+    // Property: for random legal programs under every scheme, capture ->
+    // serialize -> parse -> replay behaves exactly like replaying the
+    // in-memory capture, and both reproduce the run's miss behaviour.
+    const SchemeKind schemes[] = {SchemeKind::Base, SchemeKind::SC,
+                                  SchemeKind::TPI, SchemeKind::HW,
+                                  SchemeKind::VC};
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        testgen::GenOptions opt;
+        opt.seed = seed;
+        compiler::CompiledProgram cp =
+            compiler::compileProgram(testgen::randomLegalProgram(opt));
+        MachineConfig cfg;
+        cfg.scheme = schemes[seed % std::size(schemes)];
+        cfg.procs = 4;
+
+        Machine m(cp, cfg);
+        TraceBuffer buf;
+        m.setTraceSink(&buf);
+        RunResult run = m.run();
+        std::vector<TraceRecord> captured = buf.take();
+
+        std::stringstream ss;
+        writeTrace(ss, captured, cfg.procs, cp.program.dataBytes());
+        ParsedTrace parsed = readTrace(ss);
+        ASSERT_EQ(parsed.records.size(), captured.size()) << "gen:" << seed;
+
+        // Parsed records match the capture on every serialized field.
+        for (std::size_t i = 0; i < captured.size(); ++i) {
+            const TraceRecord &a = captured[i];
+            const TraceRecord &b = parsed.records[i];
+            ASSERT_EQ(a.type, b.type) << "gen:" << seed << " record " << i;
+            if (a.type == TraceRecord::Type::Access) {
+                ASSERT_EQ(a.op.proc, b.op.proc) << "gen:" << seed;
+                ASSERT_EQ(a.op.addr, b.op.addr) << "gen:" << seed;
+                ASSERT_EQ(a.op.write, b.op.write) << "gen:" << seed;
+                ASSERT_EQ(a.op.mark, b.op.mark) << "gen:" << seed;
+                ASSERT_EQ(a.op.distance, b.op.distance) << "gen:" << seed;
+                ASSERT_EQ(a.op.stamp, b.op.stamp) << "gen:" << seed;
+                ASSERT_EQ(a.op.critical, b.op.critical) << "gen:" << seed;
+            } else {
+                ASSERT_EQ(a.epoch, b.epoch) << "gen:" << seed;
+            }
+        }
+
+        // Replaying the parsed trace equals replaying the capture, and
+        // both reproduce the execution-driven run's miss counts.
+        ReplayResult ro = replayTrace(captured, cfg, parsed.dataBytes);
+        ReplayResult rp = replayTrace(parsed.records, cfg, parsed.dataBytes);
+        EXPECT_EQ(ro.reads, rp.reads) << "gen:" << seed;
+        EXPECT_EQ(ro.writes, rp.writes) << "gen:" << seed;
+        EXPECT_EQ(ro.readMisses, rp.readMisses) << "gen:" << seed;
+        EXPECT_EQ(ro.missConservative, rp.missConservative)
+            << "gen:" << seed;
+        EXPECT_EQ(ro.missFalseShare, rp.missFalseShare) << "gen:" << seed;
+        EXPECT_EQ(ro.trafficWords, rp.trafficWords) << "gen:" << seed;
+        EXPECT_EQ(ro.reads, run.reads) << "gen:" << seed;
+        EXPECT_EQ(ro.writes, run.writes) << "gen:" << seed;
+        EXPECT_EQ(ro.readMisses, run.readMisses) << "gen:" << seed;
+    }
+}
+
+TEST(Trace, FastPathCapturesIdenticalTrace)
+{
+    // The epoch-stream fast path must emit the same event stream as the
+    // interpreter, record for record - the trace sink sees simulation
+    // order, so this pins event ordering, not just aggregate results.
+    testgen::GenOptions opt;
+    opt.seed = 3;
+    compiler::CompiledProgram cp =
+        compiler::compileProgram(testgen::randomLegalProgram(opt));
+    for (SchemeKind k : {SchemeKind::SC, SchemeKind::TPI, SchemeKind::HW}) {
+        MachineConfig cfg;
+        cfg.scheme = k;
+        cfg.procs = 4;
+
+        auto capture = [&](bool fast) {
+            MachineConfig c = cfg;
+            c.fastPath = fast;
+            Machine m(cp, c);
+            TraceBuffer buf;
+            m.setTraceSink(&buf);
+            m.run();
+            return buf.take();
+        };
+        std::vector<TraceRecord> legacy = capture(false);
+        std::vector<TraceRecord> fast = capture(true);
+        ASSERT_EQ(legacy.size(), fast.size()) << schemeName(k);
+        for (std::size_t i = 0; i < legacy.size(); ++i) {
+            const TraceRecord &a = legacy[i];
+            const TraceRecord &b = fast[i];
+            ASSERT_EQ(a.type, b.type) << schemeName(k) << " record " << i;
+            ASSERT_EQ(a.op.proc, b.op.proc) << schemeName(k) << " " << i;
+            ASSERT_EQ(a.op.addr, b.op.addr) << schemeName(k) << " " << i;
+            ASSERT_EQ(a.op.write, b.op.write) << schemeName(k) << " " << i;
+            ASSERT_EQ(a.op.arrayId, b.op.arrayId)
+                << schemeName(k) << " " << i;
+            ASSERT_EQ(a.op.mark, b.op.mark) << schemeName(k) << " " << i;
+            ASSERT_EQ(a.op.distance, b.op.distance)
+                << schemeName(k) << " " << i;
+            ASSERT_EQ(a.op.stamp, b.op.stamp) << schemeName(k) << " " << i;
+            ASSERT_EQ(a.op.now, b.op.now) << schemeName(k) << " " << i;
+            ASSERT_EQ(a.op.critical, b.op.critical)
+                << schemeName(k) << " " << i;
+            ASSERT_EQ(a.epoch, b.epoch) << schemeName(k) << " " << i;
+        }
+    }
 }
 
 TEST(Trace, MalformedInputsRejected)
