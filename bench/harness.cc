@@ -8,6 +8,7 @@
 
 #include "common/log.hh"
 #include "common/strutil.hh"
+#include "verify/diagnostic.hh"
 #include "workloads/workloads.hh"
 
 namespace hscd {
@@ -81,10 +82,21 @@ runBenchmark(const std::string &name, const MachineConfig &cfg, int scale,
 void
 requireSound(const sim::RunResult &r, const std::string &label)
 {
-    if (r.oracleViolations != 0 || r.doallViolations != 0) {
-        warn("%s: %d oracle / %d race violations - experiment invalid",
-             label, r.oracleViolations, r.doallViolations);
-        std::exit(2);
+    // Exit codes follow verify::ExitCode: 3 for a detected soundness
+    // violation, 4 for a structured abort - distinguishable from usage
+    // errors (2) by campaign drivers and CI.
+    if (r.oracleViolations != 0 || r.doallViolations != 0 ||
+        r.shadowViolations != 0) {
+        warn("%s: %d oracle / %d race / %d shadow violations - "
+             "experiment invalid",
+             label, r.oracleViolations, r.doallViolations,
+             r.shadowViolations);
+        std::exit(verify::ExitViolation);
+    }
+    if (r.aborted()) {
+        warn("%s: run aborted (%s: %s) - experiment invalid", label,
+             fault::abortKindName(r.abort.kind), r.abort.reason);
+        std::exit(verify::ExitAbort);
     }
 }
 

@@ -43,8 +43,11 @@ sim::RunResult runBenchmark(const std::string &name,
                             bool affinity = true);
 
 /**
- * Fail loudly (nonzero exit) if a run violated coherence - every
- * experiment doubles as an end-to-end check.
+ * Fail loudly if a run violated coherence or aborted - every experiment
+ * doubles as an end-to-end check. Exits with verify::ExitViolation (3)
+ * on an oracle/shadow/race violation and verify::ExitAbort (4) on a
+ * structured abort, so callers can tell a detected failure from the
+ * usage-error exit (2).
  */
 void requireSound(const sim::RunResult &r, const std::string &label);
 

@@ -1,15 +1,21 @@
 #include "sweep.hh"
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <set>
+#include <sstream>
+#include <thread>
 #include <tuple>
 
 #include "common/log.hh"
 #include "common/parallel.hh"
 #include "common/strutil.hh"
+#include "verify/diagnostic.hh"
 
 namespace hscd {
 namespace bench {
@@ -20,12 +26,25 @@ namespace {
 usage(const char *argv0, int code)
 {
     std::cerr
-        << "usage: " << argv0 << " [--jobs N] [--json PATH]\n"
+        << "usage: " << argv0
+        << " [--jobs N] [--json PATH] [--fault SPEC] [--timeout-ms N]\n"
+        << "       [--checkpoint PATH] [--resume]\n"
         << "  --jobs N, -j N  run sweep cells on N threads (default: all\n"
         << "                  hardware threads; 1 = serial). The output\n"
         << "                  is identical at any N, modulo the trailing\n"
         << "                  wall-clock line.\n"
         << "  --json PATH     also write machine-readable results JSON\n"
+        << "  --fault SPEC    inject faults into every cell; SPEC is\n"
+        << "                  RATE[:SEED[:SITES]] (see fault/plan.hh).\n"
+        << "                  Each cell derives its own seed from the\n"
+        << "                  campaign seed and the cell index.\n"
+        << "  --timeout-ms N  abandon any cell still running after N ms\n"
+        << "                  (recorded as a structured per-cell error)\n"
+        << "  --checkpoint P  journal each completed cell to P so an\n"
+        << "                  interrupted sweep can be restarted\n"
+        << "  --resume        skip cells already journaled in the\n"
+        << "                  --checkpoint file; the final output is\n"
+        << "                  byte-identical to an uninterrupted run\n"
         << "  --help, -h      this text\n";
     std::exit(code);
 }
@@ -52,6 +71,205 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint journal encoding.
+//
+// The journal is line-oriented so a kill -9 can tear at most the final
+// line: a header naming the sweep's identity hash, then one
+// whitespace-separated record per completed cell, appended and flushed
+// as each cell finishes. Every RunResult field round-trips bit-exactly
+// (doubles travel as their IEEE bit patterns), which is what lets a
+// resumed sweep reproduce byte-identical JSON without re-running
+// finished cells. A record that fails to decode - the torn tail of an
+// interrupted writer - is simply re-run.
+// ---------------------------------------------------------------------
+
+constexpr const char *kJournalMagic = "hscd-sweep-journal v1";
+
+/** Whitespace-free token encoding; the empty string becomes "-". */
+std::string
+escapeTok(const std::string &s)
+{
+    if (s.empty())
+        return "-";
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (c == '%' || c <= ' ' || c == 0x7f || (out.empty() && c == '-'))
+            out += csprintf("%%%02x", unsigned(c));
+        else
+            out += static_cast<char>(c);
+    }
+    return out;
+}
+
+std::string
+unescapeTok(const std::string &t)
+{
+    if (t == "-")
+        return "";
+    std::string out;
+    out.reserve(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i] == '%' && i + 2 < t.size()) {
+            out += static_cast<char>(
+                std::strtoul(t.substr(i + 1, 2).c_str(), nullptr, 16));
+            i += 2;
+        } else {
+            out += t[i];
+        }
+    }
+    return out;
+}
+
+std::string
+doubleBits(double v)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return csprintf("%016x", u);
+}
+
+/** Strict token reader: any malformed/missing token poisons the line. */
+struct TokenReader
+{
+    explicit TokenReader(const std::string &line) : in(line) {}
+
+    std::string
+    tok()
+    {
+        std::string t;
+        if (!(in >> t))
+            ok = false;
+        return t;
+    }
+
+    std::uint64_t
+    u64(int base = 10)
+    {
+        const std::string t = tok();
+        if (!ok)
+            return 0;
+        char *end = nullptr;
+        std::uint64_t v = std::strtoull(t.c_str(), &end, base);
+        if (end == t.c_str() || *end != '\0')
+            ok = false;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t u = u64(16);
+        double v = 0;
+        std::memcpy(&v, &u, sizeof(v));
+        return v;
+    }
+
+    std::string str() { return unescapeTok(tok()); }
+
+    std::istringstream in;
+    bool ok = true;
+};
+
+void
+encodeResult(std::ostream &s, const sim::RunResult &r)
+{
+    auto u = [&](std::uint64_t v) { s << ' ' << v; };
+    auto d = [&](double v) { s << ' ' << doubleBits(v); };
+    auto str = [&](const std::string &v) { s << ' ' << escapeTok(v); };
+
+    u(r.cycles); u(r.epochs); u(r.parallelEpochs); u(r.tasks);
+    u(r.reads); u(r.writes); u(r.readHits); u(r.readMisses);
+    d(r.readMissRate); d(r.avgMissLatency);
+    u(r.missCold); u(r.missReplacement); u(r.missTrueShare);
+    u(r.missFalseShare); u(r.missConservative); u(r.missTagReset);
+    u(r.missUncached);
+    u(r.timeReads); u(r.timeReadHits); u(r.bypassReads);
+    u(r.readPackets); u(r.writePackets); u(r.coherencePackets);
+    u(r.writebackPackets);
+    u(r.readWords); u(r.writeWords); u(r.writebackWords);
+    u(r.trafficPackets); u(r.trafficWords);
+    u(r.busyMax); d(r.busyAvg); u(r.serialCycles);
+    u(r.oracleViolations); u(r.doallViolations);
+    u(r.firstViolations.size());
+    for (const sim::OracleViolation &v : r.firstViolations) {
+        u(v.addr); u(v.ref); u(v.seen); u(v.expected);
+        u(v.epoch); u(v.proc);
+    }
+    u(r.shadowViolations);
+    u(r.firstShadowViolations.size());
+    for (const sim::ShadowViolation &v : r.firstShadowViolations) {
+        u(v.addr); u(v.ref); u(v.proc); u(v.epoch);
+        u(v.writerProc); u(v.writerEpoch);
+    }
+    u(static_cast<std::uint64_t>(r.abort.kind));
+    str(r.abort.reason);
+    u(r.abort.cycle); u(r.abort.epoch); u(r.abort.proc);
+    str(r.abort.snapshot);
+    u(r.faultsInjected); u(r.faultsRecovered); u(r.faultRetries);
+}
+
+bool
+decodeResult(TokenReader &in, sim::RunResult &r)
+{
+    // Caps torn/corrupt length prefixes before they become allocations.
+    constexpr std::uint64_t kMaxViolations = 1u << 20;
+
+    r.cycles = in.u64(); r.epochs = in.u64();
+    r.parallelEpochs = in.u64(); r.tasks = in.u64();
+    r.reads = in.u64(); r.writes = in.u64();
+    r.readHits = in.u64(); r.readMisses = in.u64();
+    r.readMissRate = in.f64(); r.avgMissLatency = in.f64();
+    r.missCold = in.u64(); r.missReplacement = in.u64();
+    r.missTrueShare = in.u64(); r.missFalseShare = in.u64();
+    r.missConservative = in.u64(); r.missTagReset = in.u64();
+    r.missUncached = in.u64();
+    r.timeReads = in.u64(); r.timeReadHits = in.u64();
+    r.bypassReads = in.u64();
+    r.readPackets = in.u64(); r.writePackets = in.u64();
+    r.coherencePackets = in.u64(); r.writebackPackets = in.u64();
+    r.readWords = in.u64(); r.writeWords = in.u64();
+    r.writebackWords = in.u64();
+    r.trafficPackets = in.u64(); r.trafficWords = in.u64();
+    r.busyMax = in.u64(); r.busyAvg = in.f64();
+    r.serialCycles = in.u64();
+    r.oracleViolations = in.u64(); r.doallViolations = in.u64();
+
+    std::uint64_t n = in.u64();
+    if (!in.ok || n > kMaxViolations)
+        return false;
+    r.firstViolations.resize(n);
+    for (sim::OracleViolation &v : r.firstViolations) {
+        v.addr = in.u64();
+        v.ref = static_cast<hir::RefId>(in.u64());
+        v.seen = in.u64(); v.expected = in.u64();
+        v.epoch = in.u64();
+        v.proc = static_cast<ProcId>(in.u64());
+    }
+    r.shadowViolations = in.u64();
+    n = in.u64();
+    if (!in.ok || n > kMaxViolations)
+        return false;
+    r.firstShadowViolations.resize(n);
+    for (sim::ShadowViolation &v : r.firstShadowViolations) {
+        v.addr = in.u64();
+        v.ref = static_cast<hir::RefId>(in.u64());
+        v.proc = static_cast<ProcId>(in.u64());
+        v.epoch = in.u64();
+        v.writerProc = static_cast<ProcId>(in.u64());
+        v.writerEpoch = in.u64();
+    }
+    r.abort.kind = static_cast<fault::AbortKind>(in.u64());
+    r.abort.reason = in.str();
+    r.abort.cycle = in.u64(); r.abort.epoch = in.u64();
+    r.abort.proc = static_cast<std::uint32_t>(in.u64());
+    r.abort.snapshot = in.str();
+    r.faultsInjected = in.u64(); r.faultsRecovered = in.u64();
+    r.faultRetries = in.u64();
+    return in.ok;
+}
+
 } // namespace
 
 SweepOptions
@@ -64,12 +282,12 @@ SweepOptions::parse(int argc, char **argv)
             if (i + 1 >= argc) {
                 std::cerr << argv[0] << ": " << flag
                           << " requires an argument\n";
-                usage(argv[0], 2);
+                usage(argv[0], verify::ExitUsage);
             }
             return argv[++i];
         };
         if (arg == "--help" || arg == "-h") {
-            usage(argv[0], 0);
+            usage(argv[0], verify::ExitSuccess);
         } else if (arg == "--jobs" || arg == "-j") {
             const std::string v = value("--jobs");
             char *end = nullptr;
@@ -77,16 +295,41 @@ SweepOptions::parse(int argc, char **argv)
             if (end == v.c_str() || *end != '\0') {
                 std::cerr << argv[0] << ": bad --jobs value '" << v
                           << "'\n";
-                usage(argv[0], 2);
+                usage(argv[0], verify::ExitUsage);
             }
             opts.jobs = static_cast<unsigned>(n);
         } else if (arg == "--json") {
             opts.jsonPath = value("--json");
+        } else if (arg == "--fault") {
+            const std::string v = value("--fault");
+            try {
+                opts.fault = fault::FaultPlan::parse(v);
+            } catch (const FatalError &) {
+                usage(argv[0], verify::ExitUsage);
+            }
+        } else if (arg == "--timeout-ms") {
+            const std::string v = value("--timeout-ms");
+            char *end = nullptr;
+            double ms = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' || ms < 0) {
+                std::cerr << argv[0] << ": bad --timeout-ms value '" << v
+                          << "'\n";
+                usage(argv[0], verify::ExitUsage);
+            }
+            opts.timeoutMs = ms;
+        } else if (arg == "--checkpoint") {
+            opts.checkpointPath = value("--checkpoint");
+        } else if (arg == "--resume") {
+            opts.resume = true;
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "'\n";
-            usage(argv[0], 2);
+            usage(argv[0], verify::ExitUsage);
         }
+    }
+    if (opts.resume && opts.checkpointPath.empty()) {
+        std::cerr << argv[0] << ": --resume requires --checkpoint\n";
+        usage(argv[0], verify::ExitUsage);
     }
     return opts;
 }
@@ -115,8 +358,11 @@ Sweep::add(std::string label, const std::string &benchmark,
     c.scheme = schemeName(cfg.scheme);
     c.scale = scale;
     c.affinity = affinity;
-    c.runCell = [benchmark, cfg, scale, affinity] {
-        return runBenchmark(benchmark, cfg, scale, affinity);
+    MachineConfig cell_cfg = cfg;
+    if (_opts.fault.enabled())
+        cell_cfg.fault = fault::planForCell(_opts.fault, _cells.size());
+    c.runCell = [benchmark, cell_cfg, scale, affinity] {
+        return runBenchmark(benchmark, cell_cfg, scale, affinity);
     };
     _cells.push_back(std::move(c));
     return _cells.size() - 1;
@@ -131,6 +377,101 @@ Sweep::addCustom(std::string label, std::function<sim::RunResult()> runCell)
     c.runCell = std::move(runCell);
     _cells.push_back(std::move(c));
     return _cells.size() - 1;
+}
+
+std::uint64_t
+Sweep::journalIdentity() const
+{
+    // FNV-1a over everything that determines what the cells compute, so
+    // a journal from a different sweep (or the same sweep with a
+    // different fault axis) is rejected instead of silently reused.
+    // Deliberately excludes jobs/timeout/json path: those may change
+    // between the interrupted run and the resume.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mixByte = [&](unsigned char b) {
+        h = (h ^ b) * 0x100000001b3ull;
+    };
+    auto mix = [&](const std::string &s) {
+        for (unsigned char b : s)
+            mixByte(b);
+        mixByte(0xff); // separator
+    };
+    auto mixU = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            mixByte(static_cast<unsigned char>(v >> (8 * i)));
+    };
+    mix(_experiment);
+    mixU(_cells.size());
+    for (const Cell &c : _cells) {
+        mix(c.label);
+        mix(c.benchmark);
+        mix(c.scheme);
+        mixU(static_cast<std::uint64_t>(c.scale));
+        mixU(c.affinity ? 1 : 0);
+    }
+    mix(_opts.fault.str());
+    return h;
+}
+
+Sweep::Outcome
+Sweep::runGuarded(std::size_t i) const
+{
+    auto runCaught = [](const std::function<sim::RunResult()> &fn) {
+        Outcome o;
+        try {
+            o.result = fn();
+        } catch (const std::exception &e) {
+            o.error = e.what();
+            if (o.error.empty())
+                o.error = "unhandled exception";
+        } catch (...) {
+            o.error = "unhandled non-standard exception";
+        }
+        return o;
+    };
+
+    if (_opts.timeoutMs <= 0)
+        return runCaught(_cells[i].runCell);
+
+    // Per-cell isolation: run the cell on its own thread and abandon it
+    // when the budget expires. The abandoned thread is detached - it
+    // keeps only the shared state alive and its eventual result is
+    // discarded. (C++ offers no portable preemptive cancellation; the
+    // simulator-side watchdog bounds how long the orphan can spin.)
+    struct Shared
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        Outcome o;
+    };
+    auto sh = std::make_shared<Shared>();
+    const std::function<sim::RunResult()> fn = _cells[i].runCell;
+    std::thread worker([sh, fn, runCaught] {
+        Outcome o = runCaught(fn);
+        {
+            std::lock_guard<std::mutex> lk(sh->m);
+            sh->o = std::move(o);
+            sh->done = true;
+        }
+        sh->cv.notify_all();
+    });
+
+    std::unique_lock<std::mutex> lk(sh->m);
+    const bool finished = sh->cv.wait_for(
+        lk, std::chrono::duration<double, std::milli>(_opts.timeoutMs),
+        [&] { return sh->done; });
+    if (finished) {
+        lk.unlock();
+        worker.join();
+        return sh->o;
+    }
+    lk.unlock();
+    worker.detach();
+    Outcome o;
+    o.error = csprintf("timeout: cell still running after %.0f ms",
+                       _opts.timeoutMs);
+    return o;
 }
 
 void
@@ -149,9 +490,85 @@ Sweep::run()
             keys.emplace(c.benchmark, c.scale, c.affinity).second)
             compiledBenchmark(c.benchmark, c.scale, c.affinity);
 
-    _results = parallelMap(_opts.jobs, _cells.size(), [this](std::size_t i) {
-        return _cells[i].runCell();
-    });
+    // Resume: collect outcomes a prior interrupted run already
+    // journaled, keyed by cell index.
+    std::vector<Outcome> restored(_cells.size());
+    std::vector<char> have(_cells.size(), 0);
+    const std::uint64_t identity = journalIdentity();
+    bool journal_has_header = false;
+    if (_opts.resume && !_opts.checkpointPath.empty()) {
+        std::ifstream f(_opts.checkpointPath);
+        std::string line;
+        if (f && std::getline(f, line)) {
+            TokenReader hdr(line);
+            const std::string magic1 = hdr.tok(), magic2 = hdr.tok();
+            const std::uint64_t id = hdr.u64(16);
+            if (!hdr.ok ||
+                magic1 + " " + magic2 != std::string(kJournalMagic))
+                fatal("'%s' is not a sweep checkpoint journal",
+                      _opts.checkpointPath);
+            if (id != identity)
+                fatal("checkpoint journal '%s' was written by a "
+                      "different sweep (identity %016x, expected %016x)",
+                      _opts.checkpointPath, id, identity);
+            journal_has_header = true;
+            std::size_t loaded = 0, torn = 0;
+            while (std::getline(f, line)) {
+                TokenReader in(line);
+                const std::uint64_t idx = in.u64();
+                Outcome o;
+                if (!in.ok || idx >= _cells.size() ||
+                    !decodeResult(in, o.result)) {
+                    ++torn; // interrupted writer's tail: re-run the cell
+                    continue;
+                }
+                o.error = in.str();
+                if (!in.ok) {
+                    ++torn;
+                    continue;
+                }
+                restored[idx] = std::move(o);
+                have[idx] = 1;
+                ++loaded;
+            }
+            inform("resume: %d of %d cells restored from '%s'%s", loaded,
+                   _cells.size(), _opts.checkpointPath,
+                   torn ? csprintf(" (%d torn records re-run)", torn)
+                        : std::string());
+        }
+    }
+
+    std::ofstream journal;
+    std::mutex journal_mtx;
+    if (!_opts.checkpointPath.empty()) {
+        journal.open(_opts.checkpointPath,
+                     journal_has_header ? std::ios::app : std::ios::trunc);
+        if (!journal)
+            fatal("cannot write checkpoint journal '%s'",
+                  _opts.checkpointPath);
+        if (!journal_has_header) {
+            journal << kJournalMagic << ' ' << csprintf("%016x", identity)
+                    << '\n';
+            journal.flush();
+        }
+    }
+
+    _results = parallelMap(
+        _opts.jobs, _cells.size(), [&](std::size_t i) {
+            if (have[i])
+                return restored[i];
+            Outcome o = runGuarded(i);
+            if (journal.is_open()) {
+                std::ostringstream rec;
+                rec << i;
+                encodeResult(rec, o.result);
+                rec << ' ' << escapeTok(o.error);
+                std::lock_guard<std::mutex> lk(journal_mtx);
+                journal << rec.str() << '\n';
+                journal.flush();
+            }
+            return o;
+        });
 
     _wallMs = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - t0)
@@ -162,14 +579,27 @@ const sim::RunResult &
 Sweep::operator[](std::size_t i) const
 {
     hscd_assert(_ran && i < _results.size(), "sweep cell %d not run", i);
-    return _results[i];
+    return _results[i].result;
+}
+
+const std::string &
+Sweep::error(std::size_t i) const
+{
+    hscd_assert(_ran && i < _results.size(), "sweep cell %d not run", i);
+    return _results[i].error;
 }
 
 void
 Sweep::requireAllSound() const
 {
-    for (std::size_t i = 0; i < _results.size(); ++i)
-        requireSound(_results[i], _cells[i].label);
+    for (std::size_t i = 0; i < _results.size(); ++i) {
+        if (!_results[i].error.empty()) {
+            warn("%s: harness error: %s", _cells[i].label,
+                 _results[i].error);
+            std::exit(verify::ExitInternal);
+        }
+        requireSound(_results[i].result, _cells[i].label);
+    }
 }
 
 void
@@ -196,7 +626,7 @@ Sweep::writeJson() const
     f << "  \"cells\": [\n";
     for (std::size_t i = 0; i < _cells.size(); ++i) {
         const Cell &c = _cells[i];
-        const sim::RunResult &r = _results[i];
+        const sim::RunResult &r = _results[i].result;
         f << "    {\n";
         f << "      \"label\": \"" << jsonEscape(c.label) << "\",\n";
         if (!c.benchmark.empty()) {
@@ -250,8 +680,31 @@ Sweep::writeJson() const
         f << "      \"serial_cycles\": " << r.serialCycles << ",\n";
         f << "      \"oracle_violations\": " << r.oracleViolations
           << ",\n";
-        f << "      \"doall_violations\": " << r.doallViolations << "\n";
-        f << "    }" << (i + 1 < _cells.size() ? "," : "") << "\n";
+        f << "      \"doall_violations\": " << r.doallViolations;
+        // Robustness fields are emitted only when present so fault-free
+        // sweeps keep their historical byte-identical JSON.
+        if (r.shadowViolations != 0)
+            f << ",\n      \"shadow_violations\": " << r.shadowViolations;
+        if (r.faultsInjected || r.faultsRecovered || r.faultRetries) {
+            f << ",\n      \"faults_injected\": " << r.faultsInjected;
+            f << ",\n      \"faults_recovered\": " << r.faultsRecovered;
+            f << ",\n      \"fault_retries\": " << r.faultRetries;
+        }
+        if (r.aborted()) {
+            f << ",\n      \"abort\": {\n";
+            f << "        \"kind\": \"" << fault::abortKindName(r.abort.kind)
+              << "\",\n";
+            f << "        \"reason\": \"" << jsonEscape(r.abort.reason)
+              << "\",\n";
+            f << "        \"cycle\": " << r.abort.cycle << ",\n";
+            f << "        \"epoch\": " << r.abort.epoch << ",\n";
+            f << "        \"proc\": " << r.abort.proc << "\n";
+            f << "      }";
+        }
+        if (!_results[i].error.empty())
+            f << ",\n      \"error\": \""
+              << jsonEscape(_results[i].error) << "\"";
+        f << "\n    }" << (i + 1 < _cells.size() ? "," : "") << "\n";
     }
     f << "  ]\n}\n";
 }

@@ -8,7 +8,16 @@
  * tables and the JSON results file are bit-identical at any --jobs
  * value (--jobs 1 runs inline, reproducing the historical serial
  * behavior exactly). Determinism is enforced forever by
- * tests/test_sweep_determinism.cc.
+ * tests/test_sweep_determinism.cc and tests/test_fault_determinism.cc.
+ *
+ * Resilience (PR 4): cells are isolated from each other. A cell that
+ * throws becomes a structured "error" field in the JSON instead of
+ * killing the sweep; `--timeout-ms` bounds each cell's wall clock;
+ * `--checkpoint PATH` journals every completed cell so an interrupted
+ * sweep restarted with `--resume` skips finished work and still writes
+ * byte-identical final output; `--fault SPEC` threads a fault-injection
+ * plan through every cell (each cell gets an independent per-cell seed
+ * derived from the campaign seed, see fault::planForCell).
  *
  * Typical binary structure:
  *
@@ -29,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hh"
 #include "harness.hh"
 #include "sim/result.hh"
 
@@ -42,10 +52,20 @@ struct SweepOptions
     unsigned jobs = 0;
     /** Write machine-readable results here ("" disables). */
     std::string jsonPath;
+    /** Fault-injection campaign applied to every cell (default: off). */
+    fault::FaultPlan fault;
+    /** Per-cell wall-clock budget in ms; 0 disables the timeout. */
+    double timeoutMs = 0;
+    /** Journal completed cells here ("" disables checkpointing). */
+    std::string checkpointPath;
+    /** Skip cells already recorded in the checkpoint journal. */
+    bool resume = false;
 
     /**
-     * Parse `--jobs/-j N` and `--json PATH` (plus --help); fatal() on
-     * anything unrecognized so typos never silently change a sweep.
+     * Parse `--jobs/-j N`, `--json PATH`, `--fault SPEC`,
+     * `--timeout-ms N`, `--checkpoint PATH` and `--resume` (plus
+     * --help); exits with verify::ExitUsage on anything unrecognized so
+     * typos never silently change a sweep.
      */
     static SweepOptions parse(int argc, char **argv);
 };
@@ -57,7 +77,9 @@ class Sweep
 
     /**
      * Enqueue one runBenchmark() cell; returns its index. The label
-     * (default "benchmark/scheme") only feeds the JSON output.
+     * (default "benchmark/scheme") only feeds the JSON output. When the
+     * options carry a fault plan, the cell's config gets the derived
+     * per-cell plan before it is captured.
      */
     std::size_t add(const std::string &benchmark, const MachineConfig &cfg,
                     int scale = 2, bool affinity = true);
@@ -71,16 +93,27 @@ class Sweep
 
     /**
      * Simulate every cell on opts.jobs threads. Results land in add()
-     * order regardless of completion order; callable once.
+     * order regardless of completion order; callable once. Never throws
+     * for a failing cell: exceptions, timeouts and aborts become
+     * per-cell state queryable via error()/operator[].
      */
     void run();
 
     std::size_t size() const { return _cells.size(); }
 
-    /** Result of cell @p i (run() must have completed). */
+    /**
+     * Result of cell @p i (run() must have completed). For an errored
+     * cell this is the default RunResult; check error() first.
+     */
     const sim::RunResult &operator[](std::size_t i) const;
 
-    /** requireSound() on every completed cell, labelled for blame. */
+    /** Harness error for cell @p i ("" when the cell ran to an end). */
+    const std::string &error(std::size_t i) const;
+
+    /**
+     * requireSound() on every completed cell, labelled for blame; a
+     * harness error (exception/timeout) exits verify::ExitInternal.
+     */
     void requireAllSound() const;
 
     /**
@@ -102,12 +135,21 @@ class Sweep
         std::function<sim::RunResult()> runCell;
     };
 
+    /** Per-cell outcome: a result, or a harness error explaining why. */
+    struct Outcome
+    {
+        sim::RunResult result;
+        std::string error;
+    };
+
+    Outcome runGuarded(std::size_t i) const;
+    std::uint64_t journalIdentity() const;
     void writeJson() const;
 
     SweepOptions _opts;
     std::string _experiment;
     std::vector<Cell> _cells;
-    std::vector<sim::RunResult> _results;
+    std::vector<Outcome> _results;
     double _wallMs = 0;
     bool _ran = false;
 };

@@ -1,0 +1,25 @@
+#include "fault/abort.hh"
+
+#include "common/log.hh"
+
+namespace hscd {
+namespace fault {
+
+const char *
+abortKindName(AbortKind k)
+{
+    switch (k) {
+      case AbortKind::None:
+        return "none";
+      case AbortKind::Protocol:
+        return "protocol";
+      case AbortKind::Watchdog:
+        return "watchdog";
+      case AbortKind::Deadlock:
+        return "deadlock";
+    }
+    panic("bad AbortKind %d", static_cast<int>(k));
+}
+
+} // namespace fault
+} // namespace hscd

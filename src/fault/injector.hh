@@ -1,0 +1,117 @@
+/**
+ * @file
+ * FaultInjector: deterministic, counter-based fault draws.
+ *
+ * Each injection site keeps a monotonic opportunity counter; every draw
+ * hashes (campaign seed, site, counter) through splitmix64. The sequence
+ * of faults therefore depends only on the order of injection
+ * opportunities inside one simulated machine — which is fixed by the
+ * deterministic executor — and never on wall clock, sweep job count, or
+ * address-space layout. Re-running the same (workload, config,
+ * fault_seed) replays the exact same faults.
+ *
+ * The injector deliberately has no reference to simulator state: sites
+ * ask "does a fault fire here?" and apply the consequence themselves, so
+ * the blast radius of each fault kind is visible at its call site.
+ */
+
+#ifndef HSCD_FAULT_INJECTOR_HH
+#define HSCD_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "fault/plan.hh"
+
+namespace hscd {
+namespace fault {
+
+/** Aggregate outcome counters harvested into RunResult. */
+struct FaultStats
+{
+    std::uint64_t injected[kNumSites] = {};
+    /** Faults the protocol absorbed (NACK repair, epoch resync, ...). */
+    std::uint64_t recovered = 0;
+    /** Message retransmissions performed by reliable delivery. */
+    std::uint64_t retries = 0;
+
+    std::uint64_t
+    totalInjected() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t v : injected)
+            n += v;
+        return n;
+    }
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan) : _plan(plan) {}
+
+    const FaultPlan &plan() const { return _plan; }
+
+    /**
+     * One injection opportunity at @p site: advance that site's counter
+     * and report whether a fault fires. Counted in stats when it does.
+     */
+    bool
+    fire(Site site)
+    {
+        const unsigned i = static_cast<unsigned>(site);
+        const std::uint64_t draw = hash(site, ++_counter[i]);
+        if (!_plan.siteEnabled(site))
+            return false;
+        // Top 53 bits -> uniform [0, 1), same mapping as Rng::real().
+        const bool hit = (draw >> 11) * (1.0 / 9007199254740992.0)
+                         < _plan.rate;
+        if (hit)
+            _stats.injected[i]++;
+        return hit;
+    }
+
+    /**
+     * Deterministic payload bits for a fault that already fired (which
+     * bit to flip, how long a delay, ...). Advances the site counter.
+     */
+    std::uint64_t
+    draw(Site site)
+    {
+        const unsigned i = static_cast<unsigned>(site);
+        return hash(site, ++_counter[i]);
+    }
+
+    void noteRecovered() { _stats.recovered++; }
+    void noteRetry() { _stats.retries++; }
+
+    const FaultStats &stats() const { return _stats; }
+
+  private:
+    std::uint64_t
+    hash(Site site, std::uint64_t counter) const
+    {
+        // Distinct sites get distinct streams even at equal counters.
+        std::uint64_t s = _plan.seed
+            ^ (0xa076'1d64'78bd'642full * (static_cast<unsigned>(site) + 1))
+            ^ counter;
+        return splitmix(s);
+    }
+
+    static std::uint64_t
+    splitmix(std::uint64_t &state)
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    FaultPlan _plan;
+    std::uint64_t _counter[kNumSites] = {};
+    FaultStats _stats;
+};
+
+} // namespace fault
+} // namespace hscd
+
+#endif // HSCD_FAULT_INJECTOR_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * FaultPlan: the user-facing description of a fault-injection campaign.
+ *
+ * A plan is (seed, rate, site mask). It is deliberately tiny and
+ * dependency-free so MachineConfig can embed one by value: the plan is
+ * part of a run's identity, and any failure it provokes reproduces
+ * byte-identically from (workload, config, fault_seed) alone.
+ *
+ * Sites name the injection points threaded through the memory and
+ * network layers:
+ *
+ *  - net.drop     a coherence/protocol message is lost in the network
+ *                 and must be retransmitted (bounded exponential
+ *                 backoff; exhaustion is a structured protocol abort)
+ *  - net.dup      a message is delivered twice (idempotent protocols
+ *                 absorb it; it still costs traffic)
+ *  - net.delay    a message is queued behind cross traffic for extra
+ *                 cycles
+ *  - net.reorder  a message is overtaken by younger traffic; in a
+ *                 one-message-at-a-time simulation this manifests as a
+ *                 (larger) delivery delay on the overtaken message
+ *  - mem.tag      a stored cache tag bit flips: a TPI timetag (or the
+ *                 word valid bit), or an SC line valid bit
+ *  - mem.epoch    a processor's epoch-counter register is corrupted; the
+ *                 barrier broadcast detects the mismatch and the
+ *                 processor recovers by flash-invalidating its cache
+ *  - dir.presence a directory presence bit flips: a spurious bit is
+ *                 NACKed and repaired on the next invalidation, a
+ *                 cleared bit leaves a stale sharer the soundness
+ *                 oracles must catch
+ */
+
+#ifndef HSCD_FAULT_PLAN_HH
+#define HSCD_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hscd {
+namespace fault {
+
+/** One class of injection point. Also indexes the per-site counters. */
+enum class Site : std::uint8_t
+{
+    NetDrop,
+    NetDup,
+    NetDelay,
+    NetReorder,
+    MemTagFlip,
+    MemEpochFlip,
+    DirPresenceFlip,
+};
+
+constexpr unsigned kNumSites = 7;
+
+const char *siteName(Site s);
+
+/** Site-mask bits (1 << Site). */
+constexpr unsigned
+siteBit(Site s)
+{
+    return 1u << static_cast<unsigned>(s);
+}
+
+constexpr unsigned kSitesNet =
+    siteBit(Site::NetDrop) | siteBit(Site::NetDup) |
+    siteBit(Site::NetDelay) | siteBit(Site::NetReorder);
+constexpr unsigned kSitesMem =
+    siteBit(Site::MemTagFlip) | siteBit(Site::MemEpochFlip);
+constexpr unsigned kSitesDir = siteBit(Site::DirPresenceFlip);
+constexpr unsigned kSitesAll = kSitesNet | kSitesMem | kSitesDir;
+
+struct FaultPlan
+{
+    /** Per-opportunity injection probability; 0 disables everything. */
+    double rate = 0.0;
+    /** Campaign seed; every draw derives from it deterministically. */
+    std::uint64_t seed = 1;
+    /** Which Site classes may fire (kSites* combinations). */
+    unsigned sites = kSitesAll;
+
+    bool enabled() const { return rate > 0.0 && sites != 0; }
+    bool siteEnabled(Site s) const { return (sites & siteBit(s)) != 0; }
+
+    /**
+     * Parse a `--fault=` axis spec: `RATE[:SEED[:SITES]]` where SITES is
+     * a comma-separated list of `net`, `mem`, `dir`, `all`, or an
+     * individual site name (`net.drop`, `mem.tag`, ...). fatal() on
+     * malformed input.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    std::string str() const;
+
+    bool operator==(const FaultPlan &) const = default;
+};
+
+/**
+ * Derive the per-cell plan for cell @p index of a sweep: same rate and
+ * sites, but an independent seed, so a sweep's cells exercise different
+ * fault sequences while each remains individually reproducible.
+ */
+FaultPlan planForCell(const FaultPlan &plan, std::uint64_t index);
+
+} // namespace fault
+} // namespace hscd
+
+#endif // HSCD_FAULT_PLAN_HH

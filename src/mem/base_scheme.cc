@@ -20,15 +20,17 @@ BaseScheme::access(const MemOp &op)
     if (op.write) {
         ++_stats.writes;
         _mem.write(op.addr, op.stamp);
+        Cycles extra = 0;
         if (!_wbuf[op.proc].noteWrite(op.addr)) {
             ++_stats.writePackets;
             ++_stats.writeWords;
             _net.addTraffic(1, 1);
+            extra = reliableSend(op.proc, op.now, "write-through");
         }
         res.hit = false;
         res.stall = finishWrite(op.proc, op.now,
                                 _cfg.writeLatencyCycles +
-                                    _net.contentionDelay(1));
+                                    _net.contentionDelay(1) + extra);
         return res;
     }
 
@@ -40,7 +42,8 @@ BaseScheme::access(const MemOp &op)
     _net.addTraffic(1, 1);
     res.hit = false;
     res.cls = MissClass::Uncached;
-    res.stall = wordFetchLatency();
+    res.stall = wordFetchLatency() +
+                reliableSend(op.proc, op.now, "word fetch");
     res.observed = _mem.read(op.addr);
     _stats.missLatency.sample(double(res.stall));
     return res;

@@ -162,6 +162,16 @@ class CacheArray
                 fn(l);
     }
 
+    /** Visit every valid line, read-only (post-mortem snapshots). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (const Line &l : _lines)
+            if (l.valid)
+                fn(l);
+    }
+
     std::size_t lineCount() const { return _lines.size(); }
 
   private:

@@ -148,6 +148,59 @@ CoherenceScheme::finishWrite(ProcId p, Cycles now, Cycles latency)
     return 1;
 }
 
+std::string
+CoherenceScheme::postMortem() const
+{
+    std::string out = csprintf("scheme %s epoch %d\n",
+                               schemeName(_cfg.scheme), _epoch);
+    for (ProcId p = 0; p < _cfg.procs; p++) {
+        if (_writeDone[p])
+            out += csprintf("  proc %d: writes drain at cycle %d\n", p,
+                            _writeDone[p]);
+    }
+    return out;
+}
+
+Cycles
+CoherenceScheme::reliableSend(ProcId p, Cycles now, const char *what)
+{
+    if (!_fault)
+        return 0;
+    net::MsgFate fate = _net.deliver();
+    Cycles extra = 0;
+    unsigned attempt = 0;
+    while (fate.copies == 0) {
+        if (attempt >= _cfg.faultMaxRetries) {
+            fault::AbortInfo info;
+            info.kind = fault::AbortKind::Protocol;
+            info.reason = csprintf(
+                "%s from proc %d lost %d times; retry budget exhausted",
+                what, p, attempt + 1);
+            info.cycle = now + extra;
+            info.epoch = _epoch;
+            info.proc = p;
+            info.snapshot = postMortem();
+            throw fault::RunAbort(std::move(info));
+        }
+        // Wait out the ack timeout, doubling each attempt, and resend.
+        extra += _cfg.faultAckTimeoutCycles << attempt;
+        ++attempt;
+        _fault->noteRetry();
+        ++_stats.coherencePackets;
+        _net.addTraffic(1, 0);
+        fate = _net.deliver();
+    }
+    if (attempt > 0)
+        _fault->noteRecovered();
+    if (fate.copies > 1) {
+        // Duplicate delivery: the protocol absorbs the second copy (all
+        // messages are idempotent) but it still loaded the network.
+        _stats.coherencePackets += fate.copies - 1;
+        _net.addTraffic(fate.copies - 1, 0);
+    }
+    return extra + fate.extraDelay;
+}
+
 Counter
 CoherenceScheme::totalMisses() const
 {

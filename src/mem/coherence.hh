@@ -16,6 +16,8 @@
 
 #include "common/stats.hh"
 #include "compiler/marking.hh"
+#include "fault/abort.hh"
+#include "fault/injector.hh"
 #include "mem/machine_config.hh"
 #include "mem/memory.hh"
 #include "network/kruskal_snir.hh"
@@ -139,6 +141,21 @@ class CoherenceScheme
     const SchemeStats &stats() const { return _stats; }
     const MachineConfig &config() const { return _cfg; }
 
+    /**
+     * Attach the machine's fault injector (also handed to the network by
+     * the Machine). Schemes with protocol state additionally arm their
+     * own corruption sites; nullptr keeps every fault path compiled out
+     * of the hot loop behind one branch.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { _fault = inj; }
+
+    /**
+     * One-page description of protocol state for post-mortem snapshots
+     * (directory owners/sharers, epoch counters, ...). Base version
+     * reports only the write pipeline.
+     */
+    virtual std::string postMortem() const;
+
     /** Total misses across classes. */
     Counter totalMisses() const;
     /** Read miss rate (readMisses / reads). */
@@ -157,10 +174,21 @@ class CoherenceScheme
      */
     Cycles finishWrite(ProcId p, Cycles now, Cycles latency);
 
+    /**
+     * Push one protocol message through the network with reliable
+     * delivery: a dropped message is retransmitted after a bounded
+     * exponential ack timeout (faultAckTimeoutCycles << attempt), each
+     * retry costing a coherence packet; exhausting faultMaxRetries
+     * throws a Protocol RunAbort carrying a post-mortem. Returns the
+     * extra latency the sender observed (0 on a perfect network).
+     */
+    Cycles reliableSend(ProcId p, Cycles now, const char *what);
+
     const MachineConfig &_cfg;
     MainMemory &_mem;
     net::Network &_net;
     SchemeStats _stats;
+    fault::FaultInjector *_fault = nullptr;
     EpochId _epoch = 0;
     std::vector<Cycles> _writeDone;
 };

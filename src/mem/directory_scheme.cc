@@ -61,6 +61,17 @@ DirectoryScheme::invalidateSharers(DirEntry &e, Addr base, ProcId except,
         if (!(bits & 1) || q == except)
             continue;
         Cache::Line *line = _caches[q].lookup(base, 0);
+        if (!line && _fault) {
+            // Presence bit without a cached line: on a perfect machine
+            // this is a protocol bug, under fault injection it is the
+            // signature of a flipped directory bit. The phantom sharer
+            // NACKs the invalidation and the directory repairs itself.
+            e.sharers &= ~(std::uint64_t{1} << q);
+            _fault->noteRecovered();
+            _stats.coherencePackets += 2; // invalidation + NACK
+            _net.addTraffic(2, 0);
+            continue;
+        }
         hscd_assert(line, "directory presence bit without a cached line");
         if (line->meta.dirty)
             writeBack(q, *line);
@@ -89,6 +100,20 @@ DirectoryScheme::downgradeOwner(DirEntry &e, Addr base)
     e.owner = invalidProc;
     _stats.coherencePackets += 2; // forward request + response
     _net.addTraffic(2, 0);
+}
+
+void
+DirectoryScheme::maybeCorruptEntry(DirEntry &e)
+{
+    if (!_fault || !_fault->fire(fault::Site::DirPresenceFlip))
+        return;
+    // Flip one presence bit. A spuriously-set bit is repaired by the
+    // NACK path in invalidateSharers; a cleared bit leaves a sharer the
+    // directory forgot, whose next stale hit the soundness oracles must
+    // flag (this is the "silently wrong" hazard hscd_faultcheck hunts).
+    e.sharers ^=
+        std::uint64_t{1} << (_fault->draw(fault::Site::DirPresenceFlip) %
+                             _cfg.procs);
 }
 
 Cycles
@@ -164,7 +189,9 @@ DirectoryScheme::access(const MemOp &op)
         }
 
         DirEntry &e = entry(base);
+        maybeCorruptEntry(e);
         Cycles latency = lineFetchLatency();
+        latency += reliableSend(op.proc, op.now, "read line request");
         if (e.state == DirEntry::State::Modified) {
             hscd_assert(e.owner != op.proc,
                         "modified owner missed its own line");
@@ -204,6 +231,8 @@ DirectoryScheme::access(const MemOp &op)
     if (line) {
         // Write hit in S: upgrade needs invalidations (weak consistency:
         // buffered, the processor does not stall).
+        maybeCorruptEntry(e);
+        Cycles extra = reliableSend(op.proc, op.now, "upgrade request");
         unsigned n = invalidateSharers(e, base, op.proc, widx);
         e.state = DirEntry::State::Modified;
         e.owner = op.proc;
@@ -214,12 +243,15 @@ DirectoryScheme::access(const MemOp &op)
         res.hit = true;
         res.stall = finishWrite(op.proc, op.now,
                                 _cfg.writeLatencyCycles +
-                                    _net.contentionDelay(2) + Cycles(n));
+                                    _net.contentionDelay(2) + Cycles(n) +
+                                    extra);
         return res;
     }
 
     // Write miss: fetch exclusive.
+    maybeCorruptEntry(e);
     Cycles latency = lineFetchLatency();
+    latency += reliableSend(op.proc, op.now, "exclusive line request");
     if (e.state == DirEntry::State::Modified) {
         hscd_assert(e.owner != op.proc,
                     "modified owner missed its own line");
@@ -255,6 +287,24 @@ DirectoryScheme::access(const MemOp &op)
     res.hit = false;
     res.stall = finishWrite(op.proc, op.now, latency);
     return res;
+}
+
+std::string
+DirectoryScheme::postMortem() const
+{
+    std::string out = CoherenceScheme::postMortem();
+    unsigned shown = 0;
+    for (std::size_t i = 0; i < _dir.size() && shown < 32; ++i) {
+        const DirEntry &e = _dir[i];
+        if (e.state == DirEntry::State::Uncached)
+            continue;
+        out += csprintf(
+            "  line %#x: %s sharers=%#x owner=%d\n", i * _cfg.lineBytes,
+            e.state == DirEntry::State::Modified ? "M" : "S", e.sharers,
+            e.owner == invalidProc ? -1 : int(e.owner));
+        ++shown;
+    }
+    return out;
 }
 
 } // namespace mem

@@ -55,6 +55,8 @@ class DirectoryScheme final : public CoherenceScheme
     /** For tests: inspect directory state of the line holding addr. */
     const DirEntry &dirEntry(Addr addr) const;
 
+    std::string postMortem() const override;
+
   private:
     using Cache = CacheArray<NoMeta, MsiLine>;
 
@@ -75,6 +77,8 @@ class DirectoryScheme final : public CoherenceScheme
     Cache::Line &fill(ProcId proc, Addr addr, Cycles now);
     /** DirNB-i software-handler penalty when sharers exceed pointers. */
     Cycles overflowPenalty(DirEntry &e);
+    /** Fault site dir.presence: maybe flip a presence bit of @p e. */
+    void maybeCorruptEntry(DirEntry &e);
 
     std::vector<Cache> _caches;
     std::vector<DirEntry> _dir;

@@ -117,7 +117,15 @@ MachineConfig::params()
         .define("fastpath", "true",
                 "epoch-stream fast path (false = interpreted oracle)")
         .define("network", "min",
-                "interconnect topology: min|torus3d");
+                "interconnect topology: min|torus3d")
+        .define("fault", "0",
+                "fault injection: RATE[:SEED[:SITES]], 0 = off")
+        .define("fault_timeout", "50",
+                "cycles before a lost message is retransmitted")
+        .define("fault_retries", "4",
+                "retransmissions before a protocol abort")
+        .define("watchdog_ops", "4194304",
+                "ops without progress before a watchdog abort, 0 = off");
     return p;
 }
 
@@ -144,6 +152,10 @@ MachineConfig::fromParams(const Params &p)
     c.shadowEpochCheck = p.getBool("shadow_check");
     c.fastPath = p.getBool("fastpath");
     c.topology = parseTopology(p.getString("network"));
+    c.fault = fault::FaultPlan::parse(p.getString("fault"));
+    c.faultAckTimeoutCycles = p.getUint("fault_timeout");
+    c.faultMaxRetries = static_cast<unsigned>(p.getUint("fault_retries"));
+    c.watchdogStallOps = p.getUint("watchdog_ops");
     c.validate();
     return c;
 }
@@ -163,6 +175,10 @@ MachineConfig::validate() const
         fatal("timetag_bits must be in [2, 32], got %d", timetagBits);
     if (migrationRate < 0.0 || migrationRate > 1.0)
         fatal("migration_rate must be in [0, 1]");
+    if (fault.rate < 0.0 || fault.rate > 1.0)
+        fatal("fault rate must be in [0, 1]");
+    if (fault.enabled() && faultAckTimeoutCycles == 0)
+        fatal("fault_timeout must be nonzero when faults are enabled");
 }
 
 std::string

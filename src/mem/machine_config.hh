@@ -15,6 +15,7 @@
 
 #include "common/config.hh"
 #include "common/types.hh"
+#include "fault/plan.hh"
 
 namespace hscd {
 
@@ -121,6 +122,25 @@ struct MachineConfig
      * branches inside DOALL bodies).
      */
     bool fastPath = true;
+    /**
+     * Deterministic fault injection (off by default: rate 0). When the
+     * plan is enabled the Machine owns a FaultInjector and threads it
+     * through the network model and the coherence scheme; faults then
+     * fire from counter-based draws so any failure replays exactly from
+     * (workload, config, fault_seed). See src/fault/plan.hh for sites.
+     */
+    fault::FaultPlan fault;
+    /** Cycles before the first retransmission of a lost message. */
+    Cycles faultAckTimeoutCycles = 50;
+    /** Retransmissions before reliable delivery gives up (Protocol
+     *  abort); backoff doubles after each attempt. */
+    unsigned faultMaxRetries = 4;
+    /**
+     * Watchdog: abort with a post-mortem snapshot if the executor
+     * processes this many operations without any processor's clock
+     * advancing (livelock / deadlock detector). 0 disables.
+     */
+    std::uint64_t watchdogStallOps = 1ull << 22;
 
     unsigned wordsPerLine() const { return lineBytes / 4; }
     std::uint64_t lines() const { return cacheBytes / lineBytes; }

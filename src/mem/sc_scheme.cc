@@ -56,14 +56,16 @@ ScScheme::access(const MemOp &op)
         }
         line->stamps[widx] = op.stamp;
         _mem.write(op.addr, op.stamp);
+        Cycles extra = 0;
         if (!_wbuf[op.proc].noteWrite(op.addr)) {
             ++_stats.writePackets;
             ++_stats.writeWords;
             _net.addTraffic(1, 1);
+            extra = reliableSend(op.proc, op.now, "write-through");
         }
         res.stall = finishWrite(op.proc, op.now,
                                 _cfg.writeLatencyCycles +
-                                    _net.contentionDelay(1));
+                                    _net.contentionDelay(1) + extra);
         return res;
     }
 
@@ -86,17 +88,28 @@ ScScheme::access(const MemOp &op)
         _stats.classify(cls);
         res.hit = false;
         res.cls = cls;
-        res.stall = lineFetchLatency();
+        res.stall = lineFetchLatency() +
+                    reliableSend(op.proc, op.now, "marked refetch");
         res.observed = fresh.stamps[widx];
         _stats.missLatency.sample(double(res.stall));
         return res;
     }
 
-    if (Cache::Line *line = cache.lookup(op.addr, op.now)) {
+    Cache::Line *hitLine = cache.lookup(op.addr, op.now);
+    if (hitLine && _fault && _fault->fire(fault::Site::MemTagFlip)) {
+        // SC keeps no per-word tags, so the stored-bit flip lands on the
+        // line valid bit: the copy is lost and refetched. Always
+        // recoverable - normal reads were compiler-proven fresh, and the
+        // refetch can only observe newer data.
+        hitLine->valid = false;
+        hitLine = nullptr;
+        _fault->noteRecovered();
+    }
+    if (hitLine) {
         ++_stats.readHits;
         res.hit = true;
         res.stall = _cfg.hitCycles;
-        res.observed = line->stamps[widx];
+        res.observed = hitLine->stamps[widx];
         return res;
     }
 
@@ -106,7 +119,8 @@ ScScheme::access(const MemOp &op)
     _stats.classify(cls);
     res.hit = false;
     res.cls = cls;
-    res.stall = lineFetchLatency();
+    res.stall = lineFetchLatency() +
+                reliableSend(op.proc, op.now, "line fetch");
     res.observed = line.stamps[widx];
     _stats.missLatency.sample(double(res.stall));
     return res;

@@ -64,6 +64,25 @@ TpiScheme::fill(ProcId proc, Addr addr, Cycles now)
     return line;
 }
 
+void
+TpiScheme::maybeCorruptTag(Cache::Line *line)
+{
+    if (!_fault || !line || !_fault->fire(fault::Site::MemTagFlip))
+        return;
+    // Flip one stored bit of the word's TPI state: one of the n timetag
+    // bits, or (one draw in n+1) the valid bit. A lowered tag or cleared
+    // valid bit only costs a conservative miss; a raised tag or
+    // spuriously-set valid bit can vouch for a stale word, which the
+    // value-stamp oracle / shadow-epoch detector must then flag.
+    const std::uint64_t bits = _fault->draw(fault::Site::MemTagFlip);
+    TpiWord &w = line->words[bits % _cfg.wordsPerLine()];
+    const unsigned bit = (bits >> 32) % (_cfg.timetagBits + 1);
+    if (bit == _cfg.timetagBits)
+        w.valid = !w.valid;
+    else
+        w.tt ^= EpochId{1} << bit;
+}
+
 AccessResult
 TpiScheme::miss(const MemOp &op, MissClass cls, unsigned widx)
 {
@@ -73,7 +92,8 @@ TpiScheme::miss(const MemOp &op, MissClass cls, unsigned widx)
     _stats.classify(cls);
     res.hit = false;
     res.cls = cls;
-    res.stall = lineFetchLatency();
+    res.stall = lineFetchLatency() +
+                reliableSend(op.proc, op.now, "line fetch");
     res.observed = line.stamps[widx];
     _stats.missLatency.sample(double(res.stall));
     return res;
@@ -109,19 +129,24 @@ TpiScheme::access(const MemOp &op)
             line->words[widx].valid = false;
         }
         _mem.write(op.addr, op.stamp);
+        Cycles extra = 0;
         if (!_wbuf[op.proc].noteWrite(op.addr)) {
             ++_stats.writePackets;
             ++_stats.writeWords;
             _net.addTraffic(1, 1);
+            // The value always lands in memory above; a lost write-through
+            // packet only delays the buffered write's completion.
+            extra = reliableSend(op.proc, op.now, "write-through");
         }
         res.stall = finishWrite(op.proc, op.now,
                                 _cfg.writeLatencyCycles +
-                                    _net.contentionDelay(1));
+                                    _net.contentionDelay(1) + extra);
         return res;
     }
 
     ++_stats.reads;
     Cache::Line *line = cache.lookup(op.addr, op.now);
+    maybeCorruptTag(line);
 
     switch (op.mark) {
       case MarkKind::Normal: {
@@ -188,7 +213,8 @@ TpiScheme::access(const MemOp &op)
         _net.addTraffic(1, 1);
         res.hit = false;
         res.cls = cls;
-        res.stall = wordFetchLatency();
+        res.stall = wordFetchLatency() +
+                    reliableSend(op.proc, op.now, "bypass word fetch");
         res.observed = _mem.read(op.addr);
         // Refresh the cached copy's value but not its timetag: the word
         // may be rewritten by another lock owner later this epoch.
@@ -207,6 +233,23 @@ TpiScheme::epochBoundary(EpochId new_epoch)
     CoherenceScheme::epochBoundary(new_epoch);
     for (WriteBuffer &wb : _wbuf)
         wb.drain();
+
+    // Fault site mem.epoch: a processor's epoch-counter register was
+    // corrupted during the epoch. The barrier broadcast of the new EC
+    // exposes the mismatch; with per-word tags relative to a wrong EC
+    // unusable, the processor resynchronizes by flash-invalidating its
+    // cache and reloading the counter - fully recoverable, charged as a
+    // reset-length stall on the barrier.
+    Cycles recovery = 0;
+    if (_fault && _fault->fire(fault::Site::MemEpochFlip)) {
+        const ProcId p = static_cast<ProcId>(
+            _fault->draw(fault::Site::MemEpochFlip) % _cfg.procs);
+        flushCache(p);
+        _fault->noteRecovered();
+        ++_stats.coherencePackets; // EC reload broadcast
+        _net.addTraffic(1, 0);
+        recovery = _cfg.twoPhaseResetCycles;
+    }
 
     // Two-phase reset: when EC enters a new phase, words last vouched for
     // a full wrap ago become ambiguous in n-bit arithmetic and are
@@ -231,9 +274,9 @@ TpiScheme::epochBoundary(EpochId new_epoch)
             });
         }
         ++_stats.tagResets;
-        return _cfg.twoPhaseResetCycles;
+        return _cfg.twoPhaseResetCycles + recovery;
     }
-    return 0;
+    return recovery;
 }
 
 void
@@ -249,6 +292,19 @@ TpiScheme::flushCache(ProcId p)
         _history.record(p, line.base, LineEvent::InvalidatedTag);
         line.valid = false;
     });
+}
+
+std::string
+TpiScheme::postMortem() const
+{
+    std::string out = CoherenceScheme::postMortem();
+    out += csprintf("  EC %d, phase length %d\n", _epoch, _phase);
+    for (unsigned p = 0; p < _cfg.procs; ++p) {
+        std::size_t lines = 0;
+        _caches[p].forEachLine([&](const Cache::Line &) { ++lines; });
+        out += csprintf("  proc %d: %d valid lines\n", p, lines);
+    }
+    return out;
 }
 
 } // namespace mem

@@ -56,11 +56,15 @@ class TpiScheme final : public CoherenceScheme
     /** Timetag window: one phase = 2^(n-1) epochs. */
     EpochId phaseLength() const { return _phase; }
 
+    std::string postMortem() const override;
+
   private:
     using Cache = CacheArray<TpiWord, NoMeta>;
 
     Cache::Line &fill(ProcId proc, Addr addr, Cycles now);
     AccessResult miss(const MemOp &op, MissClass cls, unsigned widx);
+    /** Fault site mem.tag: maybe flip a timetag/valid bit of @p line. */
+    void maybeCorruptTag(Cache::Line *line);
 
     std::vector<Cache> _caches;
     std::vector<WriteBuffer> _wbuf;

@@ -75,7 +75,8 @@ VcScheme::miss(const MemOp &op, MissClass cls, unsigned widx)
     _stats.classify(cls);
     res.hit = false;
     res.cls = cls;
-    res.stall = lineFetchLatency();
+    res.stall = lineFetchLatency() +
+                reliableSend(op.proc, op.now, "line fetch");
     res.observed = line.stamps[widx];
     _stats.missLatency.sample(double(res.stall));
     return res;
@@ -104,14 +105,16 @@ VcScheme::access(const MemOp &op)
         // produce a newer value within the same version.
         line->words[widx].bvn = op.critical ? version : version + 1;
         _mem.write(op.addr, op.stamp);
+        Cycles extra = 0;
         if (!_wbuf[op.proc].noteWrite(op.addr)) {
             ++_stats.writePackets;
             ++_stats.writeWords;
             _net.addTraffic(1, 1);
+            extra = reliableSend(op.proc, op.now, "write-through");
         }
         res.stall = finishWrite(op.proc, op.now,
                                 _cfg.writeLatencyCycles +
-                                    _net.contentionDelay(1));
+                                    _net.contentionDelay(1) + extra);
         return res;
     }
 
@@ -135,7 +138,8 @@ VcScheme::access(const MemOp &op)
         _net.addTraffic(1, 1);
         res.hit = false;
         res.cls = cls;
-        res.stall = wordFetchLatency();
+        res.stall = wordFetchLatency() +
+                    reliableSend(op.proc, op.now, "bypass word fetch");
         res.observed = _mem.read(op.addr);
         if (line)
             line->stamps[widx] = res.observed;

@@ -85,5 +85,32 @@ Network::contentionDelay(unsigned traversals) const
     return static_cast<Cycles>(std::llround(d));
 }
 
+MsgFate
+Network::deliver()
+{
+    MsgFate fate;
+    if (!_fault)
+        return fate;
+    using fault::Site;
+    if (_fault->fire(Site::NetDrop)) {
+        fate.copies = 0;
+        return fate;
+    }
+    if (_fault->fire(Site::NetDup))
+        fate.copies = 2;
+    if (_fault->fire(Site::NetDelay)) {
+        // Queued behind a burst of cross traffic: up to eight extra
+        // full traversals, never zero.
+        fate.extraDelay +=
+            1 + _fault->draw(Site::NetDelay) % (8ull * _stages);
+    }
+    if (_fault->fire(Site::NetReorder)) {
+        // Overtaken by one younger message: in a one-message-at-a-time
+        // analytic model this is an extra traversal's worth of lateness.
+        fate.extraDelay += _stages;
+    }
+    return fate;
+}
+
 } // namespace net
 } // namespace hscd

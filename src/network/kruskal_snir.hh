@@ -20,10 +20,20 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "fault/injector.hh"
 #include "mem/machine_config.hh"
 
 namespace hscd {
 namespace net {
+
+/** Consequence of pushing one message through a (possibly faulty)
+ *  network: how many copies arrive and how late. copies == 0 means the
+ *  message was lost and the sender must retransmit. */
+struct MsgFate
+{
+    unsigned copies = 1;
+    Cycles extraDelay = 0;
+};
 
 class Network
 {
@@ -50,6 +60,19 @@ class Network
     /** Contention cycles added to an access with @p traversals hops. */
     Cycles contentionDelay(unsigned traversals) const;
 
+    /** Thread the machine's fault injector through the boundary;
+     *  nullptr (the default) keeps delivery perfect and free. */
+    void setFaultInjector(fault::FaultInjector *inj) { _fault = inj; }
+
+    /**
+     * Decide the fate of one protocol/data message at the network
+     * boundary. Perfect delivery unless an injector is attached; with
+     * one, the message may be dropped, duplicated, delayed behind cross
+     * traffic, or overtaken (reordered) - each a deterministic
+     * counter-based draw.
+     */
+    MsgFate deliver();
+
     Counter totalPackets() const { return _packets.value(); }
     Counter totalWords() const { return _words.value(); }
 
@@ -60,6 +83,7 @@ class Network
     unsigned _stages;
     double _maxLoad;
     double _load = 0.0;
+    fault::FaultInjector *_fault = nullptr;
 
     Cycles _windowStart = 0;
     Counter _windowFlits = 0;

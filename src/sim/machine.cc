@@ -67,17 +67,40 @@ RunResult::fingerprint() const
         mix(v.addr); mix(v.ref); mix(v.proc); mix(v.epoch);
         mix(v.writerProc); mix(v.writerEpoch);
     }
+    // Abort/fault fields perturb the digest only when set, so the
+    // fingerprints of fault-free runs are unchanged by their existence.
+    if (abort.aborted() || faultsInjected || faultsRecovered ||
+        faultRetries)
+    {
+        auto mixs = [&](const std::string &s) {
+            mix(s.size());
+            for (char c : s)
+                mix(static_cast<unsigned char>(c));
+        };
+        mix(static_cast<std::uint64_t>(abort.kind));
+        mix(abort.cycle); mix(abort.epoch); mix(abort.proc);
+        mixs(abort.reason);
+        mixs(abort.snapshot);
+        mix(faultsInjected); mix(faultsRecovered); mix(faultRetries);
+    }
     return h;
 }
 
 std::string
 RunResult::summary() const
 {
-    return csprintf(
+    std::string s = csprintf(
         "cycles=%d epochs=%d reads=%d writes=%d miss_rate=%.4f "
         "avg_miss_lat=%.1f traffic=%d oracle_violations=%d",
         cycles, epochs, reads, writes, readMissRate, avgMissLatency,
         trafficWords, oracleViolations);
+    if (faultsInjected || faultRetries)
+        s += csprintf(" faults=%d recovered=%d retries=%d", faultsInjected,
+                      faultsRecovered, faultRetries);
+    if (aborted())
+        s += csprintf(" ABORTED(%s: %s)", fault::abortKindName(abort.kind),
+                      abort.reason);
+    return s;
 }
 
 /**
@@ -114,6 +137,25 @@ class Executor
 
     RunResult
     run()
+    {
+        try {
+            return dispatchByScheme();
+        } catch (fault::RunAbort &ab) {
+            // Structured termination: counters are harvested up to the
+            // point of death, and the abort record (with its post-mortem
+            // snapshot) rides along in the RunResult instead of the run
+            // spinning forever or dying on an assert. The same path
+            // serves the interpreter and the fast path - the abort is
+            // thrown from machinery both share.
+            finish();
+            _res.abort = std::move(ab.info);
+            return _res;
+        }
+    }
+
+  private:
+    RunResult
+    dispatchByScheme()
     {
         std::shared_ptr<const StreamProgram> sp;
         if (_cfg.fastPath)
@@ -413,6 +455,48 @@ class Executor
         ++_res.epochs;
     }
 
+    /**
+     * Machine state at the point of death, for AbortInfo::snapshot:
+     * per-processor clocks, epoch counter, sync/lock occupancy, protocol
+     * state (scheme post-mortem), and network load.
+     */
+    std::string
+    deathSnapshot(std::size_t parked, ProcId lock_owner,
+                  std::size_t lock_waiters) const
+    {
+        std::string s = csprintf(
+            "epoch %d, %d parked, lock owner %s (%d waiting)\n", _epoch,
+            parked,
+            lock_owner == invalidProc ? std::string("none")
+                                      : csprintf("%d", lock_owner),
+            lock_waiters);
+        for (ProcId p = 0; p < _cfg.procs; ++p) {
+            s += csprintf("  proc %d: t=%d busy=%d drain=%d%s\n", p,
+                          _procTime[p], _busy[p],
+                          _scheme.writeDrainTime(p),
+                          p == _serialProc ? " (serial)" : "");
+        }
+        s += _scheme.postMortem();
+        s += csprintf("network: load %.3f, %d packets so far\n",
+                      _m._network.load(), _m._network.totalPackets());
+        return s;
+    }
+
+    [[noreturn]] void
+    watchdogAbort(ProcId p, std::uint64_t stalled, std::size_t parked,
+                  ProcId lock_owner, std::size_t lock_waiters)
+    {
+        fault::AbortInfo info;
+        info.kind = fault::AbortKind::Watchdog;
+        info.reason = csprintf(
+            "no forward progress in %d operations (livelock?)", stalled);
+        info.cycle = _procTime[p];
+        info.epoch = _epoch;
+        info.proc = p;
+        info.snapshot = deathSnapshot(parked, lock_owner, lock_waiters);
+        throw fault::RunAbort(std::move(info));
+    }
+
     void
     finish()
     {
@@ -459,6 +543,13 @@ class Executor
         _res.busyAvg = double(busy_sum) / double(_cfg.procs);
         _res.serialCycles =
             _res.cycles > _parallelWall ? _res.cycles - _parallelWall : 0;
+
+        if (const fault::FaultInjector *inj = _m._faultInjector.get()) {
+            const fault::FaultStats &fs = inj->stats();
+            _res.faultsInjected = fs.totalInjected();
+            _res.faultsRecovered = fs.recovered;
+            _res.faultRetries = fs.retries;
+        }
     }
 
     /** DOALL legality: cross-task same-word conflicts are data races. */
@@ -677,9 +768,17 @@ class Executor
         std::map<std::int64_t, std::vector<ProcId>> sync_waiters;
         std::size_t parked = 0;
 
+        // Watchdog: if this many consecutive operations complete without
+        // any processor's clock moving, the epoch is livelocked (e.g. a
+        // zero-cost self-scheduling refill loop) and the run dies with a
+        // post-mortem instead of spinning.
+        const std::uint64_t watchdog = _cfg.watchdogStallOps;
+        std::uint64_t stalled_ops = 0;
+
         while (!pq.empty()) {
             auto [t, p] = pq.top();
             pq.pop();
+            const Cycles t_before = _procTime[p];
             ExecOp op = nextOp(p);
             switch (op.kind) {
               case TaskOp::Kind::Ref:
@@ -773,10 +872,34 @@ class Executor
               default:
                 panic("unexpected op in a task stream");
             }
+            if (_procTime[p] != t_before)
+                stalled_ops = 0;
+            else if (watchdog && ++stalled_ops >= watchdog)
+                watchdogAbort(p, stalled_ops, parked, lock_owner,
+                              lock_waiters.size());
         }
-        if (parked != 0)
+        if (parked != 0) {
+            if (_m._faultInjector) {
+                // Under fault injection a never-posted flag is one of
+                // the failures the campaign wants recorded, not a user
+                // error: die structured, with the sync state attached.
+                fault::AbortInfo info;
+                info.kind = fault::AbortKind::Deadlock;
+                info.reason = csprintf(
+                    "%d processors waiting on never-posted flags at the "
+                    "end of a parallel epoch", parked);
+                info.epoch = _epoch;
+                info.proc = sync_waiters.empty()
+                                ? 0
+                                : sync_waiters.begin()->second.front();
+                info.cycle = _procTime[info.proc];
+                info.snapshot = deathSnapshot(parked, lock_owner,
+                                              lock_waiters.size());
+                throw fault::RunAbort(std::move(info));
+            }
             fatal("deadlock: %d processors waiting on never-posted "
                   "flags at the end of a parallel epoch", parked);
+        }
         hscd_assert(lock_owner == invalidProc && lock_waiters.empty(),
                     "deadlocked critical section at epoch end");
         _syncEpoch = false;
@@ -837,6 +960,11 @@ Machine::Machine(const compiler::CompiledProgram &cp, MachineConfig cfg)
       _scheme(mem::makeScheme(_cfg, _memory, _network, &_root))
 {
     _cfg.validate();
+    if (_cfg.fault.enabled()) {
+        _faultInjector = std::make_unique<fault::FaultInjector>(_cfg.fault);
+        _network.setFaultInjector(_faultInjector.get());
+        _scheme->setFaultInjector(_faultInjector.get());
+    }
 }
 
 Machine::~Machine() = default;

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "compiler/analysis.hh"
+#include "fault/injector.hh"
 #include "mem/coherence.hh"
 #include "mem/memory.hh"
 #include "network/kruskal_snir.hh"
@@ -41,6 +42,11 @@ class Machine
     const mem::CoherenceScheme &scheme() const { return *_scheme; }
     const net::Network &network() const { return _network; }
     stats::StatGroup &statsRoot() { return _root; }
+    /** Non-null iff the config's fault plan is enabled. */
+    const fault::FaultInjector *faultInjector() const
+    {
+        return _faultInjector.get();
+    }
 
   private:
     friend class Executor;
@@ -51,6 +57,7 @@ class Machine
     mem::MainMemory _memory;
     net::Network _network;
     std::unique_ptr<mem::CoherenceScheme> _scheme;
+    std::unique_ptr<fault::FaultInjector> _faultInjector;
     TraceSink *_trace = nullptr;
     bool _ran = false;
 };

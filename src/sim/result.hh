@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/abort.hh"
 #include "mem/coherence.hh"
 
 namespace hscd {
@@ -102,6 +103,21 @@ struct RunResult
      *  (always 0 unless MachineConfig::shadowEpochCheck is on). */
     Counter shadowViolations = 0;
     std::vector<ShadowViolation> firstShadowViolations;
+
+    /**
+     * Structured termination record. kind == None means the run
+     * completed; anything else means it was stopped by the watchdog or
+     * the protocol retry budget, with counters harvested up to the point
+     * of death and a post-mortem snapshot in abort.snapshot. Aborted
+     * results are first-class: the sweep records them instead of dying.
+     */
+    fault::AbortInfo abort;
+    bool aborted() const { return abort.aborted(); }
+
+    /** Fault-injection accounting (all 0 when the plan is disabled). */
+    Counter faultsInjected = 0;
+    Counter faultsRecovered = 0;
+    Counter faultRetries = 0;
 
     /** Unnecessary coherence misses (conservative + false sharing). */
     Counter

@@ -28,6 +28,34 @@
 namespace hscd {
 namespace verify {
 
+/**
+ * Process exit-code contract shared by every hscd binary (lint,
+ * experiment sweeps, faultcheck). Each failure class gets its own code
+ * so campaign drivers and CI can tell a usage typo from a detected
+ * soundness violation from a structured run abort:
+ *
+ *   0  clean
+ *   1  static diagnostics failed (lint errors, or warnings + --werror)
+ *   2  command-line usage error
+ *   3  runtime soundness violation (value-stamp oracle, shadow-epoch
+ *      detector, or DOALL race) - the run produced wrong data and said so
+ *   4  structured run abort (protocol retry exhaustion, watchdog,
+ *      deadlock) - the run stopped itself before producing a result
+ *   5  internal/harness error (uncaught exception, cell timeout)
+ *
+ * Codes 3 and 4 are the "detected failure" range: a nonzero count there
+ * is a flagged result, never a silently wrong one.
+ */
+enum ExitCode : int
+{
+    ExitSuccess = 0,
+    ExitDiagnostics = 1,
+    ExitUsage = 2,
+    ExitViolation = 3,
+    ExitAbort = 4,
+    ExitInternal = 5,
+};
+
 enum class Severity : std::uint8_t
 {
     Note,
@@ -93,8 +121,12 @@ class DiagnosticEngine
         return errors() > 0 || (werror && warnings() > 0);
     }
 
-    /** Process exit status: 0 clean, 1 failed. */
-    int exitCode(bool werror) const { return failed(werror) ? 1 : 0; }
+    /** Process exit status per the ExitCode contract above. */
+    int
+    exitCode(bool werror) const
+    {
+        return failed(werror) ? ExitDiagnostics : ExitSuccess;
+    }
 
     /** Human-readable listing, one diagnostic per line plus a summary. */
     std::string renderText() const;

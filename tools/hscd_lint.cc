@@ -11,9 +11,10 @@
  *   hscd_lint --werror ocean qcd2  # two workloads, warnings are fatal
  *   hscd_lint --json gen:42        # one generated program, JSON
  *
- * Exit code: 0 clean, 1 errors (or warnings under --werror), per
- * DiagnosticEngine::exitCode. Output is rendered in input order after
- * all programs are linted, so it is byte-identical at any --jobs.
+ * Exit code: 0 clean, 1 errors (or warnings under --werror), 2 on a
+ * usage error, per the verify::ExitCode contract. Output is rendered in
+ * input order after all programs are linted, so it is byte-identical at
+ * any --jobs.
  */
 
 #include <cctype>
@@ -115,7 +116,7 @@ parseArgs(int argc, char **argv)
         } else if (!a.empty() && a[0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             usage(argv[0]);
-            std::exit(2);
+            std::exit(verify::ExitUsage);
         } else if (a == "all") {
             for (const std::string &n : workloads::benchmarkNames())
                 opt.targets.push_back(n);
@@ -136,7 +137,7 @@ parseArgs(int argc, char **argv)
             std::fprintf(stderr, "%s: unknown target '%s'\n", argv[0],
                          t.c_str());
             usage(argv[0]);
-            std::exit(2);
+            std::exit(verify::ExitUsage);
         }
     }
     return opt;
