@@ -79,6 +79,52 @@ runBenchmark(const std::string &name, const MachineConfig &cfg, int scale,
     return sim::simulate(compiledBenchmark(name, scale, affinity), cfg);
 }
 
+sim::RunResult
+runBenchmarkObserved(const std::string &name, const MachineConfig &cfg,
+                     int scale, bool affinity, const RunObservers &o)
+{
+    obs::PhaseProfile pre;
+    const compiler::CompiledProgram *cp;
+    {
+        obs::PhaseTimer t(o.profile ? &pre.compileMs : nullptr);
+        cp = &compiledBenchmark(name, scale, affinity);
+    }
+    std::unique_ptr<sim::Machine> m;
+    {
+        obs::PhaseTimer t(o.profile ? &pre.scheduleMs : nullptr);
+        m = std::make_unique<sim::Machine>(*cp, cfg);
+    }
+    m->setTimeline(o.timeline);
+    m->setMetrics(o.metrics);
+    m->enableProfiling(o.profile);
+    sim::RunResult r = m->run();
+    if (o.profile) {
+        r.profile.compileMs += pre.compileMs;
+        r.profile.scheduleMs += pre.scheduleMs;
+    }
+    return r;
+}
+
+obs::Timeline::Naming
+timelineNaming()
+{
+    obs::Timeline::Naming n;
+    n.missClass = [](std::uint8_t v) {
+        return std::string(
+            mem::missClassName(static_cast<mem::MissClass>(v)));
+    };
+    n.markKind = [](std::uint8_t v) {
+        switch (static_cast<compiler::MarkKind>(v)) {
+          case compiler::MarkKind::Normal: return std::string("normal");
+          case compiler::MarkKind::TimeRead:
+            return std::string("time-read");
+          case compiler::MarkKind::Bypass: return std::string("bypass");
+        }
+        return csprintf("mark%d", unsigned(v));
+    };
+    return n;
+}
+
 void
 requireSound(const sim::RunResult &r, const std::string &label)
 {

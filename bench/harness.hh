@@ -11,6 +11,8 @@
 #include <string>
 
 #include "compiler/analysis.hh"
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
 #include "sim/machine.hh"
 
 namespace hscd {
@@ -41,6 +43,29 @@ compiledBenchmark(const std::string &name, int scale = 2,
 sim::RunResult runBenchmark(const std::string &name,
                             const MachineConfig &cfg, int scale = 2,
                             bool affinity = true);
+
+/** Observability attachments for one instrumented run (all optional). */
+struct RunObservers
+{
+    obs::Timeline *timeline = nullptr;       ///< Perfetto event recorder
+    obs::MetricsRecorder *metrics = nullptr; ///< time-series sampler
+    bool profile = false;                    ///< fill RunResult::profile
+};
+
+/**
+ * runBenchmark() with observers attached. With profile on, the returned
+ * RunResult::profile breaks the wall clock into compile (HIR build +
+ * marking; ~0 when the compile cache is already warm), schedule
+ * (machine construction), stream-build, and execute phases, plus peak
+ * RSS. Not thread-safe with respect to the recorders: callers
+ * instrument one run at a time (the sweep engine observes one cell).
+ */
+sim::RunResult runBenchmarkObserved(const std::string &name,
+                                    const MachineConfig &cfg, int scale,
+                                    bool affinity, const RunObservers &o);
+
+/** Default display-name mapping for Timeline::writePerfetto. */
+obs::Timeline::Naming timelineNaming();
 
 /**
  * Fail loudly if a run violated coherence or aborted - every experiment

@@ -27,6 +27,8 @@
 #include <string>
 
 #include "compiler/analysis.hh"
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
 #include "sim/machine.hh"
 #include "workloads/workloads.hh"
 
@@ -35,6 +37,7 @@ using namespace hscd;
 namespace {
 
 constexpr double kFailBelowFraction = 0.70; ///< fail under 70% of baseline
+constexpr double kObsOverheadLimitPct = 2.0; ///< observability cost ceiling
 
 const SchemeKind kSchemes[] = {SchemeKind::Base, SchemeKind::SC,
                                SchemeKind::TPI, SchemeKind::HW,
@@ -113,6 +116,52 @@ writeBaseline(const std::string &path,
     return bool(os);
 }
 
+/**
+ * Observability-disabled overhead on TPI, percent (negative = noise).
+ *
+ * A disabled run pays only the branch guards in front of the hooks, so
+ * the gate compares two configurations that differ in nothing else:
+ * observers fully detached (null pointers) versus "armed but idle" - a
+ * metrics recorder attached with an Off spec (every due-gate short-
+ * circuits without recording) plus profiling (two clock reads per run).
+ * The delta is the guard cost itself, and the gate catches the real
+ * regression class: sampling or event work creeping in front of the
+ * off-gates. Paired, interleaved, best-of-@p trials per side.
+ */
+double
+obsOverheadPercent(const compiler::CompiledProgram &cp, int trials)
+{
+    MachineConfig cfg;
+    cfg.scheme = SchemeKind::TPI;
+    cfg.procs = 8;
+    cfg.fastPath = true;
+    (void)sim::simulate(cp, cfg); // warm up (builds the cached stream)
+
+    auto rate = [&](bool armed) {
+        Counter refs = 0;
+        double t0 = now(), elapsed = 0;
+        do {
+            sim::Machine m(cp, cfg);
+            obs::MetricsRecorder idle(obs::MetricsSpec{}); // mode Off
+            if (armed) {
+                m.setMetrics(&idle);
+                m.enableProfiling(true);
+            }
+            sim::RunResult r = m.run();
+            refs += r.reads + r.writes;
+            elapsed = now() - t0;
+        } while (elapsed < 0.06);
+        return double(refs) / elapsed;
+    };
+
+    double bestOff = 0, bestOn = 0;
+    for (int t = 0; t < trials; ++t) { // interleaved: shares load drift
+        bestOff = std::max(bestOff, rate(false));
+        bestOn = std::max(bestOn, rate(true));
+    }
+    return 100.0 * (1.0 - bestOn / bestOff);
+}
+
 } // namespace
 
 int
@@ -147,6 +196,26 @@ main(int argc, char **argv)
             regressed = true;
         else if (rate > it->second * 1.05)
             next[name] = rate; // ratchet up, but ignore run-to-run jitter
+    }
+
+    // Observability gate: with every observer off, the layer may cost
+    // at most kObsOverheadLimitPct of TPI throughput. Perf gates this
+    // tight are noise-prone, so a failing first estimate is confirmed
+    // with a longer re-measure before it can fail the run.
+    double obsPct = obsOverheadPercent(cp, 5);
+    if (obsPct > kObsOverheadLimitPct)
+        obsPct = obsOverheadPercent(cp, 12);
+    std::printf("perf_smoke: obs-off overhead %+.2f%% (limit %.1f%%)%s\n",
+                obsPct, kObsOverheadLimitPct,
+                obsPct > kObsOverheadLimitPct ? "  REGRESSION" : "");
+    if (obsPct > kObsOverheadLimitPct) {
+        std::fprintf(stderr,
+                     "perf_smoke: FAIL - disabled observability hooks "
+                     "cost %.2f%% of TPI throughput on the P1 workload "
+                     "(limit %.1f%%). The off-gates must stay in front "
+                     "of all sampling work; see src/obs/.\n",
+                     obsPct, kObsOverheadLimitPct);
+        return 1;
     }
 
     if (regressed) {

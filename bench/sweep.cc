@@ -28,7 +28,9 @@ usage(const char *argv0, int code)
     std::cerr
         << "usage: " << argv0
         << " [--jobs N] [--json PATH] [--fault SPEC] [--timeout-ms N]\n"
-        << "       [--checkpoint PATH] [--resume]\n"
+        << "       [--checkpoint PATH] [--resume] [--trace-out PATH]\n"
+        << "       [--metrics SPEC] [--metrics-out PATH] [--cell SUBSTR]\n"
+        << "       [--profile]\n"
         << "  --jobs N, -j N  run sweep cells on N threads (default: all\n"
         << "                  hardware threads; 1 = serial). The output\n"
         << "                  is identical at any N, modulo the trailing\n"
@@ -45,31 +47,25 @@ usage(const char *argv0, int code)
         << "  --resume        skip cells already journaled in the\n"
         << "                  --checkpoint file; the final output is\n"
         << "                  byte-identical to an uninterrupted run\n"
+        << "  --trace-out P   write a Chrome/Perfetto trace_event JSON\n"
+        << "                  timeline of the observed cell to P (open\n"
+        << "                  in ui.perfetto.dev or chrome://tracing)\n"
+        << "  --metrics SPEC  sample counter snapshots of the observed\n"
+        << "                  cell; SPEC is epoch[:K] or cycles:N, with\n"
+        << "                  an optional :cap=M ring bound\n"
+        << "  --metrics-out P write the metrics series to P (default\n"
+        << "                  metrics.json)\n"
+        << "  --cell SUBSTR   observe the first cell whose label\n"
+        << "                  contains SUBSTR (default: the first cell)\n"
+        << "  --profile       record per-cell phase wall-clock + RSS in\n"
+        << "                  the --json output (timings are machine-\n"
+        << "                  dependent; restored --resume cells report\n"
+        << "                  zero)\n"
         << "  --help, -h      this text\n";
     std::exit(code);
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += csprintf("\\u%04x",
-                                unsigned(static_cast<unsigned char>(c)));
-            else
-                out += c;
-        }
-    }
-    return out;
-}
+using obs::jsonEscape;
 
 // ---------------------------------------------------------------------
 // Checkpoint journal encoding.
@@ -321,6 +317,21 @@ SweepOptions::parse(int argc, char **argv)
             opts.checkpointPath = value("--checkpoint");
         } else if (arg == "--resume") {
             opts.resume = true;
+        } else if (arg == "--trace-out") {
+            opts.traceOut = value("--trace-out");
+        } else if (arg == "--metrics") {
+            opts.metricsSpec = value("--metrics");
+            try {
+                obs::MetricsSpec::parse(opts.metricsSpec);
+            } catch (const FatalError &) {
+                usage(argv[0], verify::ExitUsage);
+            }
+        } else if (arg == "--metrics-out") {
+            opts.metricsOut = value("--metrics-out");
+        } else if (arg == "--cell") {
+            opts.observeCell = value("--cell");
+        } else if (arg == "--profile") {
+            opts.profile = true;
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "'\n";
@@ -361,8 +372,16 @@ Sweep::add(std::string label, const std::string &benchmark,
     MachineConfig cell_cfg = cfg;
     if (_opts.fault.enabled())
         cell_cfg.fault = fault::planForCell(_opts.fault, _cells.size());
-    c.runCell = [benchmark, cell_cfg, scale, affinity] {
-        return runBenchmark(benchmark, cell_cfg, scale, affinity);
+    c.cfg = cell_cfg;
+    c.hasCfg = true;
+    const bool prof = _opts.profile;
+    c.runCell = [benchmark, cell_cfg, scale, affinity, prof] {
+        if (!prof)
+            return runBenchmark(benchmark, cell_cfg, scale, affinity);
+        RunObservers o;
+        o.profile = true;
+        return runBenchmarkObserved(benchmark, cell_cfg, scale, affinity,
+                                    o);
     };
     _cells.push_back(std::move(c));
     return _cells.size() - 1;
@@ -475,10 +494,71 @@ Sweep::runGuarded(std::size_t i) const
 }
 
 void
+Sweep::setupObservers()
+{
+    if (_opts.traceOut.empty() && _opts.metricsSpec.empty())
+        return;
+
+    // Pick the observed cell: first label containing --cell, else 0.
+    std::size_t idx = 0;
+    if (!_opts.observeCell.empty()) {
+        idx = _cells.size();
+        for (std::size_t i = 0; i < _cells.size(); ++i) {
+            if (_cells[i].label.find(_opts.observeCell) !=
+                std::string::npos) {
+                idx = i;
+                break;
+            }
+        }
+        if (idx == _cells.size())
+            fatal("--cell '%s' matches no cell label",
+                  _opts.observeCell);
+    }
+    if (_cells.empty())
+        return;
+    if (!_cells[idx].hasCfg) {
+        warn("cell '%s' is a custom cell; --trace-out/--metrics ignored",
+             _cells[idx].label);
+        return;
+    }
+
+    if (!_opts.traceOut.empty())
+        _timeline = std::make_unique<obs::Timeline>();
+    if (!_opts.metricsSpec.empty())
+        _metrics = std::make_unique<obs::MetricsRecorder>(
+            obs::MetricsSpec::parse(_opts.metricsSpec));
+    _obsIndex = idx;
+
+    const Cell &c = _cells[idx];
+    RunObservers o;
+    o.timeline = _timeline.get();
+    o.metrics = _metrics.get();
+    o.profile = _opts.profile;
+    _cells[idx].runCell = [c, o] {
+        return runBenchmarkObserved(c.benchmark, c.cfg, c.scale,
+                                    c.affinity, o);
+    };
+}
+
+obs::Provenance
+Sweep::provenance(const std::string &schema) const
+{
+    obs::Provenance p;
+    p.schema = schema;
+    p.tool = _experiment;
+    p.configHash = journalIdentity();
+    p.faultSpec = _opts.fault.enabled() ? _opts.fault.str()
+                                        : std::string("off");
+    p.jobs = _opts.jobs ? _opts.jobs : hardwareJobs();
+    return p;
+}
+
+void
 Sweep::run()
 {
     hscd_assert(!_ran, "Sweep::run() is single-shot");
     _ran = true;
+    setupObservers();
 
     const auto t0 = std::chrono::steady_clock::now();
 
@@ -536,6 +616,14 @@ Sweep::run()
                    torn ? csprintf(" (%d torn records re-run)", torn)
                         : std::string());
         }
+    }
+
+    // The observed cell must actually execute to fill its recorders; a
+    // journaled result can't reproduce the event stream.
+    if (_obsIndex < have.size() && have[_obsIndex]) {
+        have[_obsIndex] = 0;
+        inform("resume: re-running observed cell '%s' to record "
+               "observability artifacts", _cells[_obsIndex].label);
     }
 
     std::ofstream journal;
@@ -606,10 +694,41 @@ void
 Sweep::finish(std::ostream &os) const
 {
     writeJson();
+    writeObservability(os);
     // Deliberately the only --jobs-dependent output line.
     os << csprintf("[sweep %s] %d cells, jobs=%d, %.0f ms\n",
                    _experiment, _cells.size(),
                    _opts.jobs ? _opts.jobs : hardwareJobs(), _wallMs);
+}
+
+void
+Sweep::writeObservability(std::ostream &os) const
+{
+    if (_obsIndex >= _cells.size())
+        return;
+    const Cell &c = _cells[_obsIndex];
+    if (_timeline) {
+        std::ofstream f(_opts.traceOut);
+        if (!f)
+            fatal("cannot write timeline to '%s'", _opts.traceOut);
+        _timeline->writePerfetto(f, provenance("hscd-timeline"),
+                                 c.cfg.procs, _experiment + "/" + c.label,
+                                 timelineNaming());
+        os << csprintf("[obs %s] timeline of '%s': %d events "
+                       "(%d dropped) -> %s\n",
+                       _experiment, c.label, _timeline->events().size(),
+                       _timeline->dropped(), _opts.traceOut);
+    }
+    if (_metrics) {
+        std::ofstream f(_opts.metricsOut);
+        if (!f)
+            fatal("cannot write metrics to '%s'", _opts.metricsOut);
+        _metrics->writeJson(f, provenance("hscd-metrics"));
+        os << csprintf("[obs %s] metrics of '%s': %d rows "
+                       "(%d dropped) -> %s\n",
+                       _experiment, c.label, _metrics->size(),
+                       _metrics->dropped(), _opts.metricsOut);
+    }
 }
 
 void
@@ -622,7 +741,9 @@ Sweep::writeJson() const
     if (!f)
         fatal("cannot write JSON results to '%s'", _opts.jsonPath);
 
-    f << "{\n  \"experiment\": \"" << jsonEscape(_experiment) << "\",\n";
+    f << "{\n  \"provenance\": " << provenance("hscd-sweep").json(2)
+      << ",\n";
+    f << "  \"experiment\": \"" << jsonEscape(_experiment) << "\",\n";
     f << "  \"cells\": [\n";
     for (std::size_t i = 0; i < _cells.size(); ++i) {
         const Cell &c = _cells[i];
@@ -704,6 +825,11 @@ Sweep::writeJson() const
         if (!_results[i].error.empty())
             f << ",\n      \"error\": \""
               << jsonEscape(_results[i].error) << "\"";
+        // Wall-clock phase profile: only under --profile (timings are
+        // machine-dependent, so byte-determinism contracts don't cover
+        // profiled output).
+        if (r.profile.any())
+            f << ",\n      \"profile\": " << r.profile.json();
         f << "\n    }" << (i + 1 < _cells.size() ? "," : "") << "\n";
     }
     f << "  ]\n}\n";

@@ -34,12 +34,16 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "fault/plan.hh"
 #include "harness.hh"
+#include "obs/metrics.hh"
+#include "obs/provenance.hh"
+#include "obs/timeline.hh"
 #include "sim/result.hh"
 
 namespace hscd {
@@ -60,12 +64,24 @@ struct SweepOptions
     std::string checkpointPath;
     /** Skip cells already recorded in the checkpoint journal. */
     bool resume = false;
+    /** Write a Perfetto timeline of the observed cell ("" disables). */
+    std::string traceOut;
+    /** Metrics sampling spec for the observed cell ("" disables). */
+    std::string metricsSpec;
+    /** Metrics series output path (defaults to "metrics.json"). */
+    std::string metricsOut = "metrics.json";
+    /** Label substring picking the observed cell (default: cell 0). */
+    std::string observeCell;
+    /** Profile every cell's phases into the JSON output. */
+    bool profile = false;
 
     /**
      * Parse `--jobs/-j N`, `--json PATH`, `--fault SPEC`,
-     * `--timeout-ms N`, `--checkpoint PATH` and `--resume` (plus
-     * --help); exits with verify::ExitUsage on anything unrecognized so
-     * typos never silently change a sweep.
+     * `--timeout-ms N`, `--checkpoint PATH`, `--resume`,
+     * `--trace-out PATH`, `--metrics SPEC`, `--metrics-out PATH`,
+     * `--cell SUBSTR` and `--profile` (plus --help); exits with
+     * verify::ExitUsage on anything unrecognized so typos never
+     * silently change a sweep.
      */
     static SweepOptions parse(int argc, char **argv);
 };
@@ -124,6 +140,9 @@ class Sweep
 
     const SweepOptions &options() const { return _opts; }
 
+    /** Provenance stamped on every JSON artifact this sweep writes. */
+    obs::Provenance provenance(const std::string &schema) const;
+
   private:
     struct Cell
     {
@@ -132,6 +151,8 @@ class Sweep
         std::string scheme;    ///< empty for custom cells
         int scale = 0;
         bool affinity = true;
+        MachineConfig cfg;     ///< meaningful only when hasCfg
+        bool hasCfg = false;
         std::function<sim::RunResult()> runCell;
     };
 
@@ -145,11 +166,19 @@ class Sweep
     Outcome runGuarded(std::size_t i) const;
     std::uint64_t journalIdentity() const;
     void writeJson() const;
+    /** Attach recorders to the observed cell (run() prologue). */
+    void setupObservers();
+    /** Write --trace-out / metrics artifacts (finish() epilogue). */
+    void writeObservability(std::ostream &os) const;
 
     SweepOptions _opts;
     std::string _experiment;
     std::vector<Cell> _cells;
     std::vector<Outcome> _results;
+    /** Recorders for the observed cell (null when not requested). */
+    std::unique_ptr<obs::Timeline> _timeline;
+    std::unique_ptr<obs::MetricsRecorder> _metrics;
+    std::size_t _obsIndex = static_cast<std::size_t>(-1);
     double _wallMs = 0;
     bool _ran = false;
 };

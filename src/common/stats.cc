@@ -50,10 +50,35 @@ Histogram::sample(double v)
     ++_bins[idx];
 }
 
+double
+Histogram::percentile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    // Rank of the q-th sample (1-based, ceiling) among count samples.
+    auto rank = static_cast<std::uint64_t>(q * double(_count));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    const double width = _max / double(_bins.size());
+    for (std::size_t i = 0; i < _bins.size(); ++i) {
+        seen += _bins[i];
+        if (seen >= rank)
+            return width * double(i + 1);
+    }
+    return _max; // the rank falls in the overflow mass
+}
+
 std::string
 Histogram::render() const
 {
-    std::string out = csprintf("mean=%.3f n=%d [", mean(), _count);
+    std::string out = csprintf(
+        "mean=%.3f p50=%.3f p95=%.3f p99=%.3f n=%d [", mean(),
+        percentile(0.50), percentile(0.95), percentile(0.99), _count);
     for (std::size_t i = 0; i < _bins.size(); ++i)
         out += (i ? " " : "") + std::to_string(_bins[i]);
     out += csprintf(" | ovf=%d]", _overflow);
@@ -104,13 +129,27 @@ void
 StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {
     const std::string path = prefix.empty() ? _name : prefix + "." + _name;
-    for (const StatBase *s : _stats) {
+    // Sort by name so the listing is independent of registration order
+    // (stable: ties keep registration order for a deterministic total
+    // order either way).
+    std::vector<const StatBase *> stats(_stats.begin(), _stats.end());
+    std::stable_sort(stats.begin(), stats.end(),
+                     [](const StatBase *a, const StatBase *b) {
+                         return a->name() < b->name();
+                     });
+    for (const StatBase *s : stats) {
         os << path << "." << s->name() << " = " << s->render();
         if (!s->desc().empty())
             os << "   # " << s->desc();
         os << "\n";
     }
-    for (const StatGroup *g : _children)
+    std::vector<const StatGroup *> children(_children.begin(),
+                                            _children.end());
+    std::stable_sort(children.begin(), children.end(),
+                     [](const StatGroup *a, const StatGroup *b) {
+                         return a->name() < b->name();
+                     });
+    for (const StatGroup *g : children)
         g->dump(os, path);
 }
 

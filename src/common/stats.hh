@@ -105,6 +105,13 @@ class Histogram : public StatBase
     const std::vector<std::uint64_t> &bins() const { return _bins; }
     std::uint64_t overflow() const { return _overflow; }
 
+    /**
+     * Value at quantile @p q in [0, 1], reconstructed from the bins
+     * (each bin's mass sits at its upper edge, so the estimate is
+     * conservative; overflow mass reports as max). 0 when empty.
+     */
+    double percentile(double q) const;
+
     std::string render() const override;
     void reset() override;
 
@@ -146,7 +153,13 @@ class StatGroup
 
     const std::string &name() const { return _name; }
 
-    /** Recursively print "path.stat = value # desc" lines. */
+    /**
+     * Recursively print "path.stat = value # desc" lines. Stats and
+     * child groups print in name order, not registration order, so the
+     * listing is deterministic however construction interleaves (e.g.
+     * machines built concurrently by a --jobs sweep) and diffable
+     * across snapshots.
+     */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
     /** Recursively reset all stats. */

@@ -1,0 +1,41 @@
+#include "obs/profile.hh"
+
+#include <chrono>
+
+#include <sys/resource.h>
+
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace obs {
+
+double
+nowMs()
+{
+    using namespace std::chrono;
+    return duration<double, std::milli>(
+        steady_clock::now().time_since_epoch()).count();
+}
+
+std::uint64_t
+currentRssPeakKb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // ru_maxrss is KiB on Linux, bytes on some BSDs; we only build on
+    // Linux so report it as-is.
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+std::string
+PhaseProfile::json() const
+{
+    return csprintf("{\"compile_ms\": %.3f, \"schedule_ms\": %.3f, "
+                    "\"stream_ms\": %.3f, \"exec_ms\": %.3f, "
+                    "\"rss_peak_kb\": %d}",
+                    compileMs, scheduleMs, streamMs, execMs, rssPeakKb);
+}
+
+} // namespace obs
+} // namespace hscd

@@ -1,0 +1,57 @@
+#include "obs/provenance.hh"
+
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace obs {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x",
+                                unsigned(static_cast<unsigned char>(c)));
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+fnv1a(const std::string &s, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (unsigned char b : s) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+Provenance::json(unsigned pad) const
+{
+    const std::string p(pad, ' ');
+    std::string out = "{\n";
+    out += p + csprintf("  \"schema\": \"%s/%d\",\n", jsonEscape(schema),
+                        version);
+    out += p + csprintf("  \"tool\": \"%s\",\n", jsonEscape(tool));
+    out += p + csprintf("  \"config_hash\": \"%016x\",\n", configHash);
+    out += p + csprintf("  \"fault\": \"%s\",\n", jsonEscape(faultSpec));
+    out += p + csprintf("  \"jobs\": %d\n", jobs);
+    out += p + "}";
+    return out;
+}
+
+} // namespace obs
+} // namespace hscd

@@ -17,6 +17,9 @@
 #include "mem/sc_scheme.hh"
 #include "mem/tpi_scheme.hh"
 #include "mem/vc_scheme.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/timeline.hh"
 #include "sim/interp.hh"
 #include "sim/stream.hh"
 #include "sim/trace.hh"
@@ -122,6 +125,7 @@ class Executor
     explicit Executor(Machine &m)
         : _m(m), _cfg(m._cfg), _prog(m._cp.program),
           _marking(m._cp.marking), _scheme(*m._scheme),
+          _tl(m._timeline), _mx(m._metrics),
           _lastStamp(m._memory.words(), 0),
           _procTime(m._cfg.procs, 0),
           _busy(m._cfg.procs, 0),
@@ -148,6 +152,10 @@ class Executor
             // serves the interpreter and the fast path - the abort is
             // thrown from machinery both share.
             finish();
+            if (_tl)
+                _tl->instant(obs::Timeline::InstantKind::Abort,
+                             ab.info.proc, _epoch, ab.info.cycle,
+                             static_cast<std::uint64_t>(ab.info.kind));
             _res.abort = std::move(ab.info);
             return _res;
         }
@@ -158,8 +166,11 @@ class Executor
     dispatchByScheme()
     {
         std::shared_ptr<const StreamProgram> sp;
-        if (_cfg.fastPath)
+        if (_cfg.fastPath) {
+            obs::PhaseTimer t(_m._profiled ? &_res.profile.streamMs
+                                           : nullptr);
             sp = epochStream(_m._cp, _cfg);
+        }
         switch (_cfg.scheme) {
           case SchemeKind::Base:
             return dispatch(static_cast<mem::BaseScheme &>(_scheme), sp);
@@ -442,17 +453,82 @@ class Executor
             t = std::max(t, _procTime[p]);
             t = std::max(t, _scheme.writeDrainTime(p));
         }
+        if (_tl && !_spansEmitted && _procTime[_serialProc] > _epochStartT) {
+            // Serial region of the closing epoch (parallel epochs emit
+            // their spans in mergeEpoch).
+            _tl->procSpan(_serialProc, _epoch, _epochStartT,
+                          _procTime[_serialProc]);
+        }
+        _spansEmitted = false;
         t += _cfg.barrierCycles;
         ++_epoch;
         if (_m._trace)
             _m._trace->onBoundary(_epoch);
-        t += _scheme.epochBoundary(_epoch);
+        const Cycles reset = _scheme.epochBoundary(_epoch);
+        t += reset;
+        if (_tl) {
+            if (reset > 0) {
+                _tl->resetWindow(_epoch, t - reset, reset);
+                _tl->instant(obs::Timeline::InstantKind::TagReset,
+                             obs::Timeline::memTrack(_cfg.procs), _epoch,
+                             t - reset, _scheme.stats().tagResets.value());
+            }
+            if (_m._faultInjector) {
+                const Counter n = _m._faultInjector->stats().totalInjected();
+                if (n != _faultsSeen) {
+                    _tl->instant(obs::Timeline::InstantKind::FaultInjected,
+                                 obs::Timeline::memTrack(_cfg.procs),
+                                 _epoch, t, n - _faultsSeen);
+                    _faultsSeen = n;
+                }
+            }
+        }
         for (ProcId p = 0; p < _cfg.procs; ++p)
             _procTime[p] = t;
         _m._network.endWindow(t);
         ++_accessGen; // invalidates every per-epoch access record
         _serialPosted.clear();
         ++_res.epochs;
+        _epochStartT = t;
+        if (_mx && _mx->dueEpoch(_epoch))
+            _mx->record(sampleNow(t));
+    }
+
+    /** Snapshot the cumulative counters for a metrics row. */
+    obs::MetricSample
+    sampleNow(Cycles now) const
+    {
+        const mem::SchemeStats &st = _scheme.stats();
+        obs::MetricSample s;
+        s.epoch = _epoch;
+        s.cycle = now;
+        s.reads = st.reads.value();
+        s.writes = st.writes.value();
+        s.readMisses = st.readMisses.value();
+        s.missCold = st.missCold.value();
+        s.missReplacement = st.missReplacement.value();
+        s.missTrueShare = st.missTrueShare.value();
+        s.missFalseShare = st.missFalseShare.value();
+        s.missConservative = st.missConservative.value();
+        s.missTagReset = st.missTagReset.value();
+        s.missUncached = st.missUncached.value();
+        s.timeReads = st.timeReads.value();
+        s.timeReadHits = st.timeReadHits.value();
+        s.bypassReads = st.bypassReads.value();
+        s.trafficPackets = _m._network.totalPackets();
+        s.trafficWords = _m._network.totalWords();
+        s.tagResets = st.tagResets.value();
+        if (_m._faultInjector)
+            s.faultsInjected = _m._faultInjector->stats().totalInjected();
+        Cycles pending = 0;
+        for (ProcId p = 0; p < _cfg.procs; ++p) {
+            const Cycles drain = _scheme.writeDrainTime(p);
+            if (drain > now)
+                pending += drain - now;
+        }
+        s.writePending = pending;
+        s.networkLoad = _m._network.load();
+        return s;
     }
 
     /**
@@ -507,6 +583,13 @@ class Executor
         }
         _m._network.endWindow(t);
         _res.cycles = t;
+
+        if (_tl && !_spansEmitted && _procTime[_serialProc] > _epochStartT) {
+            // Trailing serial region (the program ends without a final
+            // barrier).
+            _tl->procSpan(_serialProc, _epoch, _epochStartT,
+                          _procTime[_serialProc]);
+        }
 
         const mem::SchemeStats &st = _scheme.stats();
         _res.reads = st.reads.value();
@@ -611,6 +694,17 @@ class Executor
             _m._trace->onAccess(mop);
         mem::AccessResult res = scheme.access(mop);
         _procTime[proc] += res.stall;
+
+        if (_m._trace)
+            _m._trace->onOutcome(mop, res, _epoch);
+        if (_tl && !res.hit && res.cls != mem::MissClass::None) {
+            _tl->missFlow(proc, _epoch, mop.addr, mop.now, res.stall,
+                          static_cast<std::uint8_t>(res.cls),
+                          static_cast<std::uint8_t>(mop.mark),
+                          mop.distance);
+        }
+        if (_mx && _mx->dueCycle(_procTime[proc]))
+            _mx->record(sampleNow(_procTime[proc]));
 
         if (!op.write) {
             ValueStamp expected = _lastStamp[op.addr / 4];
@@ -910,6 +1004,13 @@ class Executor
             wall = std::max(wall, _procTime[p] - epoch_start);
         }
         _parallelWall += wall;
+
+        if (_tl) {
+            for (unsigned p = 0; p < P; ++p)
+                if (_procTime[p] > epoch_start)
+                    _tl->procSpan(p, _epoch, epoch_start, _procTime[p]);
+            _spansEmitted = true;
+        }
     }
 
     struct AccessRec
@@ -925,6 +1026,12 @@ class Executor
     const hir::Program &_prog;
     const compiler::Marking &_marking;
     mem::CoherenceScheme &_scheme;
+    /** Observability recorders (null = hooks compile to a null check). */
+    obs::Timeline *_tl;
+    obs::MetricsRecorder *_mx;
+    Cycles _epochStartT = 0;
+    Counter _faultsSeen = 0;
+    bool _spansEmitted = false;
 
     std::vector<ValueStamp> _lastStamp;
     /** Shadow-epoch detector state (empty unless shadowEpochCheck). */
@@ -975,7 +1082,15 @@ Machine::run()
     hscd_assert(!_ran, "Machine::run() is single-shot");
     _ran = true;
     Executor ex(*this);
-    return ex.run();
+    if (!_profiled)
+        return ex.run();
+    const double t0 = obs::nowMs();
+    RunResult res = ex.run();
+    // execMs includes the stream build; profile.streamMs reports the
+    // build's share separately.
+    res.profile.execMs += obs::nowMs() - t0;
+    res.profile.rssPeakKb = obs::currentRssPeakKb();
+    return res;
 }
 
 RunResult

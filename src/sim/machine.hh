@@ -18,6 +18,12 @@
 #include "sim/result.hh"
 
 namespace hscd {
+
+namespace obs {
+class MetricsRecorder;
+class Timeline;
+} // namespace obs
+
 namespace sim {
 
 class TraceSink;
@@ -34,6 +40,19 @@ class Machine
 
     /** Record every scheme-visible event into @p sink during run(). */
     void setTraceSink(TraceSink *sink) { _trace = sink; }
+
+    /**
+     * Observability attachment points. All three default to null and
+     * every hook is branch-guarded on the pointer, so an unobserved run
+     * pays only a handful of null checks - the zero-overhead guard in
+     * the obs test suite and the perf_smoke 2% gate enforce this.
+     */
+    /** Record epoch spans / protocol flows / instants during run(). */
+    void setTimeline(obs::Timeline *tl) { _timeline = tl; }
+    /** Sample counter snapshots per epoch / N cycles during run(). */
+    void setMetrics(obs::MetricsRecorder *m) { _metrics = m; }
+    /** Accumulate phase wall-clock into RunResult::profile. */
+    void enableProfiling(bool on = true) { _profiled = on; }
 
     /** Execute the whole program; callable once. */
     RunResult run();
@@ -59,6 +78,9 @@ class Machine
     std::unique_ptr<mem::CoherenceScheme> _scheme;
     std::unique_ptr<fault::FaultInjector> _faultInjector;
     TraceSink *_trace = nullptr;
+    obs::Timeline *_timeline = nullptr;
+    obs::MetricsRecorder *_metrics = nullptr;
+    bool _profiled = false;
     bool _ran = false;
 };
 

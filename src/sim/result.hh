@@ -12,6 +12,7 @@
 
 #include "fault/abort.hh"
 #include "mem/coherence.hh"
+#include "obs/profile.hh"
 
 namespace hscd {
 namespace sim {
@@ -118,6 +119,14 @@ struct RunResult
     Counter faultsInjected = 0;
     Counter faultsRecovered = 0;
     Counter faultRetries = 0;
+
+    /**
+     * Self-profiling wall-clock phase breakdown (all zero unless the
+     * run was profiled). PhaseProfile compares always-equal and is
+     * excluded from fingerprint(), so this field never perturbs the
+     * determinism contract below.
+     */
+    obs::PhaseProfile profile;
 
     /** Unnecessary coherence misses (conservative + false sharing). */
     Counter

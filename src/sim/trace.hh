@@ -41,6 +41,19 @@ class TraceSink
     virtual ~TraceSink() = default;
     virtual void onAccess(const mem::MemOp &op) = 0;
     virtual void onBoundary(EpochId epoch) = 0;
+    /**
+     * Scheme verdict for the op just issued via onAccess: hit/miss,
+     * class, stall, and the epoch it executed in. Default no-op so
+     * record-only sinks (TraceBuffer) are unaffected; the observability
+     * layer (hscd_inspect why-miss) needs the outcome stream to
+     * reconstruct per-word timetag state.
+     */
+    virtual void
+    onOutcome(const mem::MemOp &op, const mem::AccessResult &res,
+              EpochId epoch)
+    {
+        (void)op; (void)res; (void)epoch;
+    }
 };
 
 /** Collects records in memory. */

@@ -60,6 +60,27 @@ slurp(const std::string &path)
     return ss.str();
 }
 
+/**
+ * The provenance header's "jobs" field is, by contract, the only JSON
+ * content allowed to vary with the thread count (the stdout analogue is
+ * the wall-clock line). Blank it out - and require that it appears
+ * exactly once, so nothing else can hide behind the mask.
+ */
+std::string
+maskJobsLine(std::string s)
+{
+    const std::string key = "\"jobs\":";
+    std::size_t at = s.find(key);
+    EXPECT_NE(at, std::string::npos) << "provenance header missing";
+    if (at == std::string::npos)
+        return s;
+    const std::size_t eol = s.find('\n', at);
+    s.replace(at, eol - at, key + " <masked>");
+    EXPECT_EQ(s.find(key, at + key.size() + 1), std::string::npos)
+        << "\"jobs\" must appear exactly once (provenance only)";
+    return s;
+}
+
 } // namespace
 
 TEST(SweepDeterminism, IdenticalResultsAtJobs128)
@@ -94,11 +115,12 @@ TEST(SweepDeterminism, JsonOutputIsByteIdenticalAcrossJobs)
     const std::string p8 = testing::TempDir() + "hscd_sweep_j8.json";
     runSweep(1, p1);
     runSweep(8, p8);
-    const std::string j1 = slurp(p1);
-    const std::string j8 = slurp(p8);
+    const std::string j1 = maskJobsLine(slurp(p1));
+    const std::string j8 = maskJobsLine(slurp(p8));
     EXPECT_FALSE(j1.empty());
     EXPECT_EQ(j1, j8);
     EXPECT_NE(j1.find("\"fingerprint\""), std::string::npos);
+    EXPECT_NE(j1.find("\"provenance\""), std::string::npos);
     std::remove(p1.c_str());
     std::remove(p8.c_str());
 }

@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "common/parallel.hh"
 #include "common/strutil.hh"
 #include "fault/plan.hh"
+#include "obs/provenance.hh"
 #include "sim/machine.hh"
 #include "verify/diagnostic.hh"
 #include "workloads/workloads.hh"
@@ -58,6 +60,7 @@ struct CliOptions
                                        SchemeKind::TPI, SchemeKind::HW,
                                        SchemeKind::VC};
     bool verbose = false;
+    std::string jsonPath;
 };
 
 void
@@ -80,6 +83,8 @@ usage(const char *argv0)
         "  --schemes L,L    schemes to fan across (default all five)\n"
         "  --scale N        workload problem scale (default 1)\n"
         "  --jobs N         run cells on N threads (default: all)\n"
+        "  --json PATH      write the campaign table as JSON (with a\n"
+        "                   provenance header) to PATH\n"
         "  --verbose        print each non-clean run\n"
         "  --help           this text\n",
         argv0);
@@ -124,6 +129,8 @@ parseArgs(int argc, char **argv)
             opt.jobs = static_cast<unsigned>(number("--jobs"));
         } else if (a == "--verbose") {
             opt.verbose = true;
+        } else if (a == "--json") {
+            opt.jsonPath = value("--json");
         } else if (a == "--rates") {
             opt.rates.clear();
             std::string v = value("--rates");
@@ -208,6 +215,75 @@ struct TableRow
                   flagged = 0, silent = 0, internal = 0;
     std::uint64_t injected = 0, retries = 0;
 };
+
+std::string
+rowJson(const TableRow &t)
+{
+    return csprintf(
+        "{\"runs\": %d, \"clean\": %d, \"recovered\": %d, "
+        "\"aborted\": %d, \"flagged\": %d, \"silent\": %d, "
+        "\"internal\": %d, \"injected\": %d, \"retries\": %d}",
+        int(t.runs), int(t.clean), int(t.recovered), int(t.aborted),
+        int(t.flagged), int(t.silent), int(t.internal), int(t.injected),
+        int(t.retries));
+}
+
+/**
+ * Machine-readable campaign report: a provenance header (config hash
+ * over everything that shapes the corpus), the campaign parameters, one
+ * row per (rate x scheme), totals, and the verdict. Deterministic at
+ * any --jobs except the provenance "jobs" field itself.
+ */
+void
+writeJsonReport(const CliOptions &opt,
+                const std::map<std::pair<double, int>, TableRow> &rows,
+                const TableRow &total, const char *verdict)
+{
+    std::ofstream os(opt.jsonPath);
+    if (!os) {
+        warn("cannot write --json file '%s'", opt.jsonPath);
+        return;
+    }
+    std::string rates, schemes;
+    for (double r : opt.rates)
+        rates += csprintf("%s%.9g", rates.empty() ? "" : ",", r);
+    for (SchemeKind k : opt.schemes)
+        schemes += csprintf("%s%s", schemes.empty() ? "" : ",",
+                            schemeName(k));
+
+    obs::Provenance prov;
+    prov.schema = "hscd-faultcheck";
+    prov.tool = "faultcheck";
+    prov.configHash = obs::fnv1a(csprintf(
+        "rates=%s:seeds=%d:base=%d:sites=%s:schemes=%s:scale=%d", rates,
+        int(opt.seeds), int(opt.seedBase), opt.sitesSpec, schemes,
+        opt.scale));
+    prov.faultSpec = csprintf("rates=%s:sites=%s", rates, opt.sitesSpec);
+    prov.jobs = opt.jobs;
+
+    os << "{\n  \"provenance\": " << prov.json(2) << ",\n";
+    os << csprintf("  \"seeds\": %d,\n  \"seed_base\": %d,\n"
+                   "  \"scale\": %d,\n  \"sites\": \"%s\",\n",
+                   int(opt.seeds), int(opt.seedBase), opt.scale,
+                   obs::jsonEscape(opt.sitesSpec).c_str());
+    os << "  \"rows\": [\n";
+    bool first = true;
+    for (double rate : opt.rates) {
+        for (SchemeKind k : opt.schemes) {
+            auto it = rows.find({rate, static_cast<int>(k)});
+            if (it == rows.end())
+                continue;
+            os << csprintf("%s    {\"rate\": %.9g, \"scheme\": \"%s\", "
+                           "\"row\": %s}",
+                           first ? "" : ",\n", rate, schemeName(k),
+                           rowJson(it->second).c_str());
+            first = false;
+        }
+    }
+    os << "\n  ],\n";
+    os << "  \"total\": " << rowJson(total) << ",\n";
+    os << csprintf("  \"verdict\": \"%s\"\n}\n", verdict);
+}
 
 } // namespace
 
@@ -359,6 +435,12 @@ main(int argc, char **argv)
                 int(total.recovered), int(total.aborted),
                 int(total.flagged), int(total.silent),
                 int(total.injected), int(total.retries));
+
+    const char *verdict = total.internal ? "internal-error"
+                          : total.silent ? "silent-corruption"
+                                         : "clean";
+    if (!opt.jsonPath.empty())
+        writeJsonReport(opt, rows, total, verdict);
 
     if (total.internal) {
         std::printf("\nverdict: %d harness errors - campaign invalid\n",

@@ -27,6 +27,7 @@
 #include "common/parallel.hh"
 #include "common/strutil.hh"
 #include "compiler/analysis.hh"
+#include "obs/provenance.hh"
 #include "program_gen.hh"
 #include "verify/verify.hh"
 #include "workloads/workloads.hh"
@@ -178,6 +179,22 @@ main(int argc, char **argv)
                 buildTarget(opt.targets[i], opt.scale), aopts);
             return verify::lintProgram(cp, opt.targets[i], opt.lint);
         });
+
+    if (opt.json) {
+        // Provenance header object first, then one diagnostics object
+        // per target (same contract as the sweep/metrics artifacts).
+        obs::Provenance prov;
+        prov.schema = "hscd-lint";
+        prov.tool = "lint";
+        std::string key = csprintf("scale=%d:timetag=%d:oracle=%d",
+                                   opt.scale, int(opt.lint.timetagBits),
+                                   int(opt.lint.runOracle));
+        for (const std::string &t : opt.targets)
+            key += ":" + t;
+        prov.configHash = obs::fnv1a(key);
+        prov.jobs = opt.jobs;
+        std::printf("{\"provenance\": %s}\n", prov.json(0).c_str());
+    }
 
     int exit_code = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
