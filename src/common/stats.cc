@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/log.hh"
 #include "common/strutil.hh"
@@ -53,16 +54,21 @@ Histogram::sample(double v)
 double
 Histogram::percentile(double q) const
 {
+    // Contract: an empty histogram has no quantiles - every q reports
+    // 0.0. Out-of-range and non-finite q clamp into [0, 1] (NaN would
+    // otherwise reach the integer cast below, which is UB).
     if (_count == 0)
         return 0.0;
-    if (q < 0)
+    if (!(q > 0))
         q = 0;
     if (q > 1)
         q = 1;
     // Rank of the q-th sample (1-based, ceiling) among count samples.
-    auto rank = static_cast<std::uint64_t>(q * double(_count));
+    auto rank = static_cast<std::uint64_t>(std::ceil(q * double(_count)));
     if (rank == 0)
         rank = 1;
+    if (rank > _count)
+        rank = _count;
     std::uint64_t seen = 0;
     const double width = _max / double(_bins.size());
     for (std::size_t i = 0; i < _bins.size(); ++i) {

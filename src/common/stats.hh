@@ -108,7 +108,9 @@ class Histogram : public StatBase
     /**
      * Value at quantile @p q in [0, 1], reconstructed from the bins
      * (each bin's mass sits at its upper edge, so the estimate is
-     * conservative; overflow mass reports as max). 0 when empty.
+     * conservative; overflow mass reports as max). Defined for every
+     * input: an empty histogram returns 0.0 for all q, and out-of-range
+     * or non-finite q clamp into [0, 1].
      */
     double percentile(double q) const;
 

@@ -19,11 +19,28 @@
 #define HSCD_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "fault/plan.hh"
 
 namespace hscd {
 namespace fault {
+
+/**
+ * One pre-planned firing for scripted injection: the @p nth call to
+ * fire(site) (1-based, counting fire() calls only, not draw()s) fires,
+ * and the draw() that follows returns @p payload verbatim. Scripts give
+ * a caller (the model-checker counterexample replayer) cycle-exact
+ * control over which injection opportunity faults and with what effect,
+ * instead of searching rate/seed space for a sequence that happens to
+ * match.
+ */
+struct ScriptedFault
+{
+    Site site = Site::NetDrop;
+    std::uint64_t fireIndex = 0;
+    std::uint64_t payload = 0;
+};
 
 /** Aggregate outcome counters harvested into RunResult. */
 struct FaultStats
@@ -52,6 +69,20 @@ class FaultInjector
     const FaultPlan &plan() const { return _plan; }
 
     /**
+     * Arm scripted injection. Scripted firings are checked on top of the
+     * plan's probabilistic draws (normally combined with rate 0, so the
+     * script is the entire fault sequence) and ignore the plan's site
+     * mask: the script says exactly what fires, nothing else does.
+     */
+    void
+    script(std::vector<ScriptedFault> s)
+    {
+        _script = std::move(s);
+    }
+
+    bool scripted() const { return !_script.empty(); }
+
+    /**
      * One injection opportunity at @p site: advance that site's counter
      * and report whether a fault fires. Counted in stats when it does.
      */
@@ -60,6 +91,10 @@ class FaultInjector
     {
         const unsigned i = static_cast<unsigned>(site);
         const std::uint64_t draw = hash(site, ++_counter[i]);
+        if (!_script.empty() && scriptHit(site, ++_fires[i])) {
+            _stats.injected[i]++;
+            return true;
+        }
         if (!_plan.siteEnabled(site))
             return false;
         // Top 53 bits -> uniform [0, 1), same mapping as Rng::real().
@@ -73,11 +108,17 @@ class FaultInjector
     /**
      * Deterministic payload bits for a fault that already fired (which
      * bit to flip, how long a delay, ...). Advances the site counter.
+     * A scripted firing's payload is returned verbatim by the draw()
+     * that follows it.
      */
     std::uint64_t
     draw(Site site)
     {
         const unsigned i = static_cast<unsigned>(site);
+        if (_pendingValid[i]) {
+            _pendingValid[i] = false;
+            return _pending[i];
+        }
         return hash(site, ++_counter[i]);
     }
 
@@ -106,8 +147,28 @@ class FaultInjector
         return z ^ (z >> 31);
     }
 
+    /** Scripted firing lookup: does entry (site, nth fire) exist? */
+    bool
+    scriptHit(Site site, std::uint64_t nth)
+    {
+        for (const ScriptedFault &f : _script) {
+            if (f.site == site && f.fireIndex == nth) {
+                const unsigned i = static_cast<unsigned>(site);
+                _pending[i] = f.payload;
+                _pendingValid[i] = true;
+                return true;
+            }
+        }
+        return false;
+    }
+
     FaultPlan _plan;
     std::uint64_t _counter[kNumSites] = {};
+    /** fire() calls per site (scripted-mode opportunity index). */
+    std::uint64_t _fires[kNumSites] = {};
+    std::vector<ScriptedFault> _script;
+    std::uint64_t _pending[kNumSites] = {};
+    bool _pendingValid[kNumSites] = {};
     FaultStats _stats;
 };
 

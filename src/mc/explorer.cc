@@ -1,0 +1,144 @@
+#include "mc/explorer.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace hscd {
+namespace mc {
+
+std::string
+Counterexample::str() const
+{
+    std::string out = csprintf("%s violated: %s\n",
+                               invariantName(invariant), detail);
+    out += csprintf("counterexample (%d steps):\n", path.size());
+    for (std::size_t i = 0; i < path.size(); ++i)
+        out += csprintf("  %2d. %s\n", i + 1, path[i].str());
+    return out;
+}
+
+namespace {
+
+struct Node
+{
+    State state;
+    std::uint32_t parent = 0;
+    std::uint32_t action = 0;
+    std::uint16_t depth = 0;
+};
+
+std::vector<Action>
+pathTo(const std::vector<Node> &nodes, std::uint32_t id)
+{
+    std::vector<Action> path;
+    while (id != 0) {
+        path.push_back(Action::decode(nodes[id].action));
+        id = nodes[id].parent;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::uint64_t
+splitmix(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+ExploreResult
+explore(const McConfig &cfg, const ExploreOptions &opt)
+{
+    cfg.validate();
+    ExploreResult res;
+
+    std::vector<Node> nodes;
+    std::unordered_map<std::string, std::uint32_t> seen;
+    nodes.push_back(Node{initialState(cfg), 0, 0, 0});
+    seen.emplace(canonicalKey(cfg, nodes[0].state, opt.symmetry), 0);
+
+    std::vector<Action> acts;
+    for (std::uint32_t head = 0; head < nodes.size(); ++head) {
+        // Copy: apply() below may reallocate `nodes`.
+        const State cur = nodes[head].state;
+        const std::uint16_t depth = nodes[head].depth;
+        res.maxDepth = std::max<std::uint64_t>(res.maxDepth, depth);
+
+        if (isTerminal(cfg, cur)) {
+            ++(cur.aborted ? res.aborted : res.completed);
+            continue;
+        }
+
+        enumerate(cfg, cur, acts);
+        if (acts.empty()) {
+            // Structurally impossible (Finish/Barrier are always
+            // enabled), but check rather than assume: this *is* the
+            // deadlock-freedom invariant.
+            res.cex = Counterexample{
+                pathTo(nodes, head), InvariantId::Deadlock,
+                csprintf("no enabled action in epoch %d", int(cur.epoch))};
+            break;
+        }
+
+        for (const Action &a : acts) {
+            State next = cur;
+            Outcome out;
+            apply(cfg, next, a, out);
+            ++res.transitions;
+
+            if (out.violated != InvariantId::None) {
+                std::vector<Action> path = pathTo(nodes, head);
+                path.push_back(a);
+                res.cex = Counterexample{std::move(path), out.violated,
+                                         out.violation};
+                res.states = nodes.size();
+                return res;
+            }
+
+            std::string key = canonicalKey(cfg, next, opt.symmetry);
+            auto [it, fresh] =
+                seen.emplace(std::move(key), std::uint32_t(nodes.size()));
+            if (!fresh)
+                continue;
+            if (nodes.size() >= opt.maxStates) {
+                res.hitStateCap = true;
+                res.states = nodes.size();
+                return res;
+            }
+            nodes.push_back(Node{next, head, a.encode(),
+                                 std::uint16_t(depth + 1)});
+        }
+    }
+
+    res.states = nodes.size();
+    return res;
+}
+
+std::vector<Action>
+randomWalk(const McConfig &cfg, std::uint64_t seed)
+{
+    cfg.validate();
+    std::vector<Action> path;
+    State s = initialState(cfg);
+    std::uint64_t rng = seed * 0x2545f4914f6cdd1dull + 1;
+    std::vector<Action> acts;
+    while (!isTerminal(cfg, s)) {
+        enumerate(cfg, s, acts);
+        hscd_assert(!acts.empty(), "mc: random walk deadlocked");
+        const Action &a = acts[splitmix(rng) % acts.size()];
+        Outcome out;
+        apply(cfg, s, a, out);
+        path.push_back(a);
+        hscd_assert(path.size() < 100000, "mc: random walk diverged");
+    }
+    return path;
+}
+
+} // namespace mc
+} // namespace hscd

@@ -6,7 +6,10 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+
 #include "common/log.hh"
+#include "fault/abort.hh"
 #include "mem/memory.hh"
 #include "network/kruskal_snir.hh"
 
@@ -132,7 +135,8 @@ readTrace(std::istream &is)
 
 ReplayResult
 replayTrace(const std::vector<TraceRecord> &records,
-            const MachineConfig &cfg, Addr data_bytes)
+            const MachineConfig &cfg, Addr data_bytes, TraceSink *sink,
+            const std::vector<fault::ScriptedFault> *script)
 {
     stats::StatGroup root("replay");
     mem::MainMemory memory(data_bytes);
@@ -140,30 +144,51 @@ replayTrace(const std::vector<TraceRecord> &records,
                          cfg.maxNetworkLoad, cfg.topology);
     auto scheme = mem::makeScheme(cfg, memory, network, &root);
 
-    std::vector<Cycles> clock(cfg.procs, 0);
-    for (const TraceRecord &r : records) {
-        if (r.type == TraceRecord::Type::Boundary) {
-            Cycles t = 0;
-            for (ProcId p = 0; p < cfg.procs; ++p) {
-                t = std::max(t, clock[p]);
-                t = std::max(t, scheme->writeDrainTime(p));
-            }
-            t += cfg.barrierCycles;
-            t += scheme->epochBoundary(r.epoch);
-            std::fill(clock.begin(), clock.end(), t);
-            network.endWindow(t);
-            continue;
-        }
-        mem::MemOp op = r.op;
-        hscd_assert(op.proc < cfg.procs,
-                    "trace targets processor %d beyond the machine",
-                    op.proc);
-        op.now = clock[op.proc];
-        mem::AccessResult res = scheme->access(op);
-        clock[op.proc] += res.stall;
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (cfg.fault.enabled() || (script && !script->empty())) {
+        injector = std::make_unique<fault::FaultInjector>(cfg.fault);
+        if (script)
+            injector->script(*script);
+        network.setFaultInjector(injector.get());
+        scheme->setFaultInjector(injector.get());
     }
 
     ReplayResult out;
+    std::vector<Cycles> clock(cfg.procs, 0);
+    EpochId epoch = 0;
+    try {
+        for (const TraceRecord &r : records) {
+            if (r.type == TraceRecord::Type::Boundary) {
+                Cycles t = 0;
+                for (ProcId p = 0; p < cfg.procs; ++p) {
+                    t = std::max(t, clock[p]);
+                    t = std::max(t, scheme->writeDrainTime(p));
+                }
+                t += cfg.barrierCycles;
+                if (sink)
+                    sink->onBoundary(r.epoch);
+                t += scheme->epochBoundary(r.epoch);
+                epoch = r.epoch;
+                std::fill(clock.begin(), clock.end(), t);
+                network.endWindow(t);
+                continue;
+            }
+            mem::MemOp op = r.op;
+            hscd_assert(op.proc < cfg.procs,
+                        "trace targets processor %d beyond the machine",
+                        op.proc);
+            op.now = clock[op.proc];
+            if (sink)
+                sink->onAccess(op);
+            mem::AccessResult res = scheme->access(op);
+            if (sink)
+                sink->onOutcome(op, res, epoch);
+            clock[op.proc] += res.stall;
+        }
+    } catch (const fault::RunAbort &abort) {
+        out.abort = abort.info;
+    }
+
     const mem::SchemeStats &st = scheme->stats();
     out.reads = st.reads.value();
     out.writes = st.writes.value();

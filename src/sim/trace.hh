@@ -94,14 +94,33 @@ struct ReplayResult
     Counter missFalseShare = 0;
     Counter trafficWords = 0;
     Cycles cycles = 0;
+    /** Structured abort that ended the replay early (kind None if not). */
+    fault::AbortInfo abort;
+
+    bool aborted() const { return abort.aborted(); }
 };
 
 /**
  * Drive @p cfg's scheme with a recorded trace. Per-processor clocks
  * advance by each access's stall; boundaries synchronize all clocks.
+ *
+ * When @p sink is non-null it receives every record as it replays plus
+ * the scheme's verdict for each access via TraceSink::onOutcome — the
+ * hook the model checker uses to cross-check a counterexample trace
+ * against the real scheme, outcome by outcome.
+ *
+ * When @p script is non-null and non-empty, a FaultInjector armed with
+ * exactly those scripted firings (plus cfg.fault's probabilistic plan,
+ * normally rate 0) is attached to the scheme, so a replay reproduces a
+ * fault scenario at precise injection opportunities. A structured abort
+ * (retry exhaustion) ends the replay early and is reported in
+ * ReplayResult::abort rather than thrown.
  */
 ReplayResult replayTrace(const std::vector<TraceRecord> &records,
-                         const MachineConfig &cfg, Addr data_bytes);
+                         const MachineConfig &cfg, Addr data_bytes,
+                         TraceSink *sink = nullptr,
+                         const std::vector<fault::ScriptedFault> *script =
+                             nullptr);
 
 } // namespace sim
 } // namespace hscd

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the TPI model checker (src/mc): configuration
+ * validation, the action encoding, determinism of the explorer, the
+ * symmetry reduction, and the model-vs-implementation cross-check that
+ * replays model paths on the real TpiScheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "mc/explorer.hh"
+#include "mc/replay.hh"
+
+using namespace hscd;
+using namespace hscd::mc;
+
+namespace {
+
+McConfig
+tiny()
+{
+    // Smallest legal machine: trimmed horizon keeps each explore fast
+    // enough to run many times inside one test binary.
+    McConfig cfg;
+    cfg.opsPerEpoch = 1;
+    cfg.horizonEpochs = 3;
+    return cfg;
+}
+
+} // namespace
+
+TEST(McConfig, ValidatesBounds)
+{
+    EXPECT_NO_THROW(tiny().validate());
+    McConfig bad = tiny();
+    bad.procs = 9;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = tiny();
+    bad.timetagBits = 4;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = tiny();
+    bad.lineWords = 3; // does not divide words = 2
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = tiny();
+    bad.faultBudget = 3;
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(McConfig, HorizonCoversOneFullWraparound)
+{
+    // The default horizon must see at least one complete reset cycle
+    // (2^n epochs) plus one more epoch, at every supported width.
+    for (unsigned bits = 1; bits <= 3; ++bits) {
+        McConfig cfg;
+        cfg.timetagBits = bits;
+        EXPECT_GT(cfg.horizon(), 2u * (1u << bits)) << "bits=" << bits;
+        EXPECT_EQ(cfg.phase(), 1u << (bits - 1));
+        EXPECT_EQ(cfg.dmax(), (1u << bits) - 1);
+    }
+}
+
+TEST(McAction, EncodeDecodeRoundTrips)
+{
+    Action a;
+    a.kind = Action::Kind::Read;
+    a.proc = 2;
+    a.word = 3;
+    a.mark = compiler::MarkKind::TimeRead;
+    a.distance = 7;
+    a.fault = Action::Fault::TagFlip;
+    a.faultWord = 1;
+    a.faultBit = 3;
+    EXPECT_EQ(Action::decode(a.encode()), a);
+
+    Action b;
+    b.kind = Action::Kind::Barrier;
+    b.fault = Action::Fault::EpochFlip;
+    b.flushProc = 2;
+    EXPECT_EQ(Action::decode(b.encode()), b);
+
+    Action c;
+    c.kind = Action::Kind::Write;
+    c.proc = 1;
+    c.critical = true;
+    c.fault = Action::Fault::DropAbort;
+    EXPECT_EQ(Action::decode(c.encode()), c);
+}
+
+TEST(McExplorer, TinyConfigExploresCleanAndDeterministically)
+{
+    const McConfig cfg = tiny();
+    const ExploreResult a = explore(cfg);
+    EXPECT_TRUE(a.clean());
+    EXPECT_FALSE(a.cex.has_value());
+    EXPECT_GT(a.states, 1u);
+    EXPECT_GT(a.transitions, a.states - 1); // graph, not a tree
+    EXPECT_GT(a.completed, 0u);
+    EXPECT_EQ(a.aborted, 0u); // no faults: nothing can abort
+
+    const ExploreResult b = explore(cfg);
+    EXPECT_EQ(a.states, b.states);
+    EXPECT_EQ(a.transitions, b.transitions);
+    EXPECT_EQ(a.maxDepth, b.maxDepth);
+}
+
+TEST(McExplorer, SymmetryReductionPreservesTheVerdict)
+{
+    const McConfig cfg = tiny();
+    ExploreOptions sym;
+    ExploreOptions nosym;
+    nosym.symmetry = false;
+    const ExploreResult with = explore(cfg, sym);
+    const ExploreResult without = explore(cfg, nosym);
+    EXPECT_TRUE(with.clean());
+    EXPECT_TRUE(without.clean());
+    // Quotienting by processor renaming must only merge states.
+    EXPECT_LT(with.states, without.states);
+    EXPECT_EQ(with.maxDepth, without.maxDepth);
+}
+
+TEST(McExplorer, FaultBudgetWidensTheStateSpaceAndStaysClean)
+{
+    McConfig cfg = tiny();
+    const ExploreResult base = explore(cfg);
+    cfg.faultBudget = 1;
+    const ExploreResult faulted = explore(cfg);
+    EXPECT_TRUE(faulted.clean());
+    EXPECT_GT(faulted.states, base.states);
+    // net.drop exhaustion paths must reach the structured-abort
+    // terminal, and mem.epoch flushes must still complete.
+    EXPECT_GT(faulted.aborted, 0u);
+    EXPECT_GT(faulted.completed, 0u);
+}
+
+TEST(McExplorer, StateCapReportsBoundedNotClean)
+{
+    McConfig cfg; // full default horizon: far more than 50 states
+    ExploreOptions opt;
+    opt.maxStates = 50;
+    const ExploreResult res = explore(cfg, opt);
+    EXPECT_TRUE(res.hitStateCap);
+    EXPECT_FALSE(res.clean());
+    EXPECT_FALSE(res.cex.has_value());
+}
+
+TEST(McReplay, RandomWalksAgreeWithTpiScheme)
+{
+    // The emitter turns a model path into a trace + fault script; the
+    // real TpiScheme replay must reproduce every modelled outcome.
+    for (unsigned faults = 0; faults <= 1; ++faults) {
+        McConfig cfg;
+        cfg.faultBudget = faults;
+        std::uint64_t compared = 0;
+        for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+            const std::vector<Action> path = randomWalk(cfg, seed);
+            const CheckReport rep = crossCheck(cfg, path);
+            EXPECT_TRUE(rep.ok)
+                << "faults=" << faults << " seed=" << seed << ": "
+                << rep.detail;
+            compared += rep.compared;
+        }
+        EXPECT_GT(compared, 0u) << "vacuous cross-check";
+    }
+}
+
+TEST(McReplay, WiderGeometriesAlsoAgree)
+{
+    // One walk per larger shape: 3 processors, 2 lines, 2-bit tags.
+    for (McConfig cfg : {[] { McConfig c; c.procs = 3; return c; }(),
+                         [] {
+                             McConfig c;
+                             c.words = 4;
+                             c.opsPerEpoch = 1;
+                             return c;
+                         }(),
+                         [] {
+                             McConfig c;
+                             c.timetagBits = 2;
+                             c.horizonEpochs = 6;
+                             c.opsPerEpoch = 1;
+                             c.faultBudget = 1;
+                             return c;
+                         }()})
+    {
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            const CheckReport rep = crossCheck(cfg, randomWalk(cfg, seed));
+            EXPECT_TRUE(rep.ok) << cfg.str() << " seed=" << seed << ": "
+                                << rep.detail;
+        }
+    }
+}

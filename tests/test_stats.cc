@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "common/stats.hh"
@@ -59,6 +60,45 @@ TEST(Stats, HistogramReset)
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.bins()[0], 0u);
     EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Stats, HistogramPercentileEmptyContract)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "", 100.0, 10);
+    // Empty histogram: every quantile - including degenerate and
+    // out-of-range arguments - is defined and reports 0.0.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-3.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(7.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(std::nan("")), 0.0);
+    // render() on an empty histogram exercises the same path.
+    EXPECT_NE(h.render().find("n=0"), std::string::npos);
+    // Reset returns the histogram to the empty contract.
+    h.sample(5.0);
+    EXPECT_GT(h.percentile(0.5), 0.0);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Stats, HistogramPercentileClampsArgument)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "", 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(double(i));
+    // q clamps into [0, 1]: below-range and NaN behave as q = 0 (rank
+    // 1, first occupied bin edge), above-range as q = 1.
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(std::nan("")), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+    // The rank is a ceiling: the 0.01-quantile of 100 samples is the
+    // 1st sample, still in the first bin.
+    EXPECT_DOUBLE_EQ(h.percentile(0.01), 10.0);
 }
 
 TEST(Stats, FormulaTracksInputs)
