@@ -32,6 +32,21 @@ Mark::str() const
     return "?";
 }
 
+std::uint64_t
+markSeverity(MarkKind kind, std::uint32_t distance)
+{
+    switch (kind) {
+      case MarkKind::Normal:
+        return 0;
+      case MarkKind::TimeRead:
+        return std::uint64_t{1} +
+               (std::uint64_t{1} << 32) / (std::uint64_t{distance} + 1);
+      case MarkKind::Bypass:
+        return ~std::uint64_t{0};
+    }
+    return 0;
+}
+
 namespace {
 
 /** Flat view of one occurrence with its owning node. */
@@ -70,17 +85,7 @@ Marking::run(const hir::Program &prog, const EpochGraph &graph,
     std::vector<bool> assigned(prog.refCount(), false);
 
     auto severity = [](const Mark &m) {
-        // Higher is worse; TimeRead severity grows as distance shrinks.
-        switch (m.kind) {
-          case MarkKind::Normal:
-            return std::uint64_t{0};
-          case MarkKind::TimeRead:
-            return std::uint64_t{1} + (std::uint64_t{1} << 32) /
-                                          (std::uint64_t{m.distance} + 1);
-          case MarkKind::Bypass:
-            return ~std::uint64_t{0};
-        }
-        return std::uint64_t{0};
+        return markSeverity(m.kind, m.distance);
     };
 
     for (const Occ &r : reads) {
@@ -177,10 +182,17 @@ Marking::run(const hir::Program &prog, const EpochGraph &graph,
         }
     }
 
-    // Statistics over final per-reference marks.
-    MarkingStats &st = result._stats;
+    result.recomputeStats(prog);
+    return result;
+}
+
+void
+Marking::recomputeStats(const hir::Program &prog)
+{
+    MarkingStats &st = _stats;
+    st = MarkingStats{};
     for (hir::RefId id = 0; id < prog.refCount(); ++id) {
-        const Mark &m = result._marks[id];
+        const Mark &m = _marks[id];
         if (m.reason == MarkReason::WriteRef) {
             ++st.writes;
             continue;
@@ -209,7 +221,6 @@ Marking::run(const hir::Program &prog, const EpochGraph &graph,
             break;
         }
     }
-    return result;
 }
 
 std::string

@@ -58,6 +58,15 @@ struct Mark
     std::string str() const;
 };
 
+/**
+ * Total severity order over marks: Normal < TimeRead (stricter, i.e.
+ * smaller, distances are more severe) < Bypass. The marking pass joins
+ * occurrences with it, and the verifier compares compiler marks against
+ * oracle requirements with the same scalar, so "weaker/stronger" means
+ * one thing everywhere.
+ */
+std::uint64_t markSeverity(MarkKind kind, std::uint32_t distance);
+
 struct AnalysisOptions
 {
     /**
@@ -120,11 +129,16 @@ class Marking
     std::string describe(const hir::Program &prog) const;
 
     /**
-     * Replace one reference's mark. Verification-only hook: lets tests
-     * build deliberately under-marked programs to prove the soundness
-     * oracle and the shadow-epoch detector actually fire.
+     * Replace one reference's mark. Verification hook: tests build
+     * deliberately under-marked programs to prove the soundness oracle
+     * and the shadow-epoch detector fire, and `hscd_lint --tighten`
+     * rewrites proven-over-conservative marks to the minimal sound
+     * ones. Call recomputeStats() after a batch of overrides.
      */
     void overrideMark(hir::RefId id, const Mark &m) { _marks.at(id) = m; }
+
+    /** Rebuild the statistics from the current per-reference marks. */
+    void recomputeStats(const hir::Program &prog);
 
   private:
     std::vector<Mark> _marks;

@@ -120,5 +120,23 @@ summarizeProcedures(const Program &prog)
     return Summarizer(prog).run();
 }
 
+bool
+summariesMayWrite(const std::vector<ProcSummary> &summaries,
+                  const RegularSection &section)
+{
+    for (const ProcSummary &s : summaries)
+        if (s.mod.mayOverlap(section))
+            return true;
+    return false;
+}
+
+bool
+summariesMayWrite(const std::vector<ProcSummary> &summaries,
+                  const hir::Program &prog, hir::ArrayId array)
+{
+    return summariesMayWrite(
+        summaries, RegularSection::whole(prog.array(array), array));
+}
+
 } // namespace compiler
 } // namespace hscd

@@ -33,6 +33,17 @@ struct ProcSummary
 /** Compute summaries for every procedure (bottom-up over call graph). */
 std::vector<ProcSummary> summarizeProcedures(const hir::Program &prog);
 
+/**
+ * Interprocedural query hooks over the computed summaries, used by the
+ * verifier's precision analyses as cheap pre-filters: before solving a
+ * per-array dataflow problem, a pass asks whether any procedure could
+ * write the array at all (summaries are may-MOD, so "no" is a proof).
+ */
+bool summariesMayWrite(const std::vector<ProcSummary> &summaries,
+                       const RegularSection &section);
+bool summariesMayWrite(const std::vector<ProcSummary> &summaries,
+                       const hir::Program &prog, hir::ArrayId array);
+
 } // namespace compiler
 } // namespace hscd
 

@@ -1,0 +1,148 @@
+#include "verify/catalog.hh"
+
+#include <set>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace verify {
+
+namespace {
+
+// clang-format off
+const CatalogEntry kCatalog[] = {
+    {"HIR001", Severity::Error, "hir-lints", "undefined-variable",
+     "an expression uses a variable with no enclosing loop or parameter "
+     "binding"},
+    {"HIR002", Severity::Warning, "hir-lints", "shadowed-variable",
+     "a loop index rebinds a live binding (outer loop index or program "
+     "parameter)"},
+    {"HIR003", Severity::Error, "hir-lints", "subscript-out-of-bounds",
+     "a subscript is provably outside [0, extent) for every dynamic "
+     "instance"},
+    {"HIR004", Severity::Warning, "hir-lints", "empty-doall",
+     "a DOALL's bounds are provably empty; it still costs two epoch "
+     "boundaries"},
+    {"HIR005", Severity::Note, "hir-lints", "single-trip-doall",
+     "a DOALL provably runs exactly one iteration (serial in effect)"},
+    {"HIR006", Severity::Error, "hir-lints", "wait-without-post",
+     "a wait on a provably-constant flag that no post can ever match "
+     "(guaranteed deadlock)"},
+    {"HIR007", Severity::Note, "hir-lints", "post-without-wait",
+     "a post on a constant flag that no wait ever consumes (dead "
+     "synchronization)"},
+    {"GRAPH001", Severity::Warning, "graph-lints", "unreachable-epoch",
+     "an epoch node with no path from the program entry; its references "
+     "are dead and its marks meaningless"},
+    {"GRAPH002", Severity::Error, "graph-lints", "distance-exceeds-timetag",
+     "a Time-Read distance operand larger than the configured timetag "
+     "width can represent; the compiler must saturate, not rely on "
+     "hardware clamping"},
+    {"GRAPH003", Severity::Error, "graph-lints", "bypass-on-unprotected",
+     "a Bypass mark on a read that neither a critical section nor "
+     "post/wait synchronization justifies"},
+    {"GRAPH004", Severity::Warning, "graph-lints", "write-write-conflict",
+     "two DOALL tasks provably write the same word in one epoch instance "
+     "with no lock or post/wait ordering (nondeterministic final value)"},
+    {"ORACLE001", Severity::Error, "stale-marking-oracle", "under-marked-read",
+     "the compiler's mark is weaker than the word-exact oracle requires: "
+     "a stale hit is reachable (soundness bug)"},
+    {"ORACLE002", Severity::Note, "stale-marking-oracle", "over-marked-reads",
+     "summary note: reads marked more conservatively than the word-exact "
+     "oracle requires (precision loss, not unsoundness)"},
+    {"MARK001", Severity::Note, "marking-precision", "proven-over-conservative",
+     "a Time-Read (or Bypass) whose proven-minimal sound mark is strictly "
+     "weaker: the exact minimal epoch distance is larger than marked, or "
+     "the read is provably never stale; `--tighten` rewrites these"},
+    {"MARK002", Severity::Note, "marking-precision", "redundant-marking",
+     "a Time-Read dominated by an earlier Time-Read of a containing "
+     "section in the same epoch at an equal-or-stricter distance: it can "
+     "never refetch on TPI (modulo tag resets) yet costs a refetch on SC"},
+    {"MARK003", Severity::Note, "marking-precision", "distance-saturation",
+     "the true minimal epoch distance exceeds the 2^timetagBits - 1 "
+     "window, so the saturated operand will refetch fresh data whenever "
+     "the tag ages out (the static predictor of CONSERVATIVE misses)"},
+};
+// clang-format on
+
+constexpr std::size_t kCatalogCount =
+    sizeof(kCatalog) / sizeof(kCatalog[0]);
+
+/** One-time uniqueness check over the table (IDs and rule names). */
+bool
+checkUnique()
+{
+    std::set<std::string> ids, names;
+    for (const CatalogEntry &e : kCatalog) {
+        hscd_assert(ids.insert(e.id).second,
+                    "duplicate diagnostic id '%s' in the catalog", e.id);
+        hscd_assert(names.insert(e.name).second,
+                    "duplicate diagnostic name '%s' in the catalog",
+                    e.name);
+    }
+    return true;
+}
+
+} // namespace
+
+const CatalogEntry *
+diagnosticCatalog(std::size_t &count)
+{
+    static const bool checked = checkUnique();
+    (void)checked;
+    count = kCatalogCount;
+    return kCatalog;
+}
+
+const CatalogEntry *
+catalogLookup(const std::string &id)
+{
+    std::size_t n = 0;
+    const CatalogEntry *table = diagnosticCatalog(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (id == table[i].id)
+            return &table[i];
+    return nullptr;
+}
+
+std::size_t
+catalogIndex(const std::string &id)
+{
+    std::size_t n = 0;
+    const CatalogEntry *table = diagnosticCatalog(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (id == table[i].id)
+            return i;
+    hscd_assert(false, "diagnostic id '%s' is not cataloged", id.c_str());
+    return 0;
+}
+
+std::string
+catalogMarkdown()
+{
+    std::string out =
+        "# Diagnostic catalog\n"
+        "\n"
+        "Generated from `src/verify/catalog.cc` by `hscd_lint "
+        "--catalog`; do not edit by hand\n"
+        "(`ctest -R lint.catalog` pins this file to the table).\n"
+        "\n"
+        "Severity contract: errors always fail the lint; warnings fail "
+        "under `--werror`;\nnotes never affect the exit status.\n"
+        "\n"
+        "| ID | severity | pass | name | meaning |\n"
+        "|----|----------|------|------|---------|\n";
+    std::size_t n = 0;
+    const CatalogEntry *table = diagnosticCatalog(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const CatalogEntry &e = table[i];
+        out += csprintf("| %s | %s | `%s` | %s | %s |\n", e.id,
+                        severityName(e.severity), e.pass, e.name,
+                        e.summary);
+    }
+    return out;
+}
+
+} // namespace verify
+} // namespace hscd

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Diagnostic-ID catalog: the single source of truth for every stable
+ * diagnostic the verifier can emit.
+ *
+ * Each entry fixes an ID's severity, owning pass, short name, and
+ * one-line meaning. Everything else derives from the table:
+ *
+ *  - DiagnosticEngine::report() rejects IDs that are not cataloged and
+ *    severities that disagree with the canonical one, so a pass cannot
+ *    invent an ID or silently change a contract;
+ *  - PassManager::add() asserts, at registration, that the IDs a pass
+ *    declares are cataloged and that no two registered passes claim the
+ *    same ID;
+ *  - the SARIF renderer emits the catalog as the run's rule table;
+ *  - `hscd_lint --catalog` renders docs/DIAGNOSTICS.md (a test pins the
+ *    checked-in file to the generated text).
+ */
+
+#ifndef HSCD_VERIFY_CATALOG_HH
+#define HSCD_VERIFY_CATALOG_HH
+
+#include <cstddef>
+#include <string>
+
+#include "verify/diagnostic.hh"
+
+namespace hscd {
+namespace verify {
+
+struct CatalogEntry
+{
+    const char *id;        ///< stable ID, e.g. "MARK001"
+    Severity severity;     ///< the ID's canonical severity
+    const char *pass;      ///< owning pass (LintPass::name())
+    const char *name;      ///< short kebab-case name for SARIF rules
+    const char *summary;   ///< one-line meaning
+};
+
+/** The full ID table, in catalog order (uniqueness-checked once). */
+const CatalogEntry *diagnosticCatalog(std::size_t &count);
+
+/** Catalog entry for @p id, or nullptr when the ID is not cataloged. */
+const CatalogEntry *catalogLookup(const std::string &id);
+
+/** Zero-based index of @p id in the catalog (asserts it exists). */
+std::size_t catalogIndex(const std::string &id);
+
+/** Render the catalog as markdown (the docs/DIAGNOSTICS.md content). */
+std::string catalogMarkdown();
+
+} // namespace verify
+} // namespace hscd
+
+#endif // HSCD_VERIFY_CATALOG_HH

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Generic monotone worklist dataflow over the epoch flow graph.
+ *
+ * The epoch graph is the verifier's canonical CFG: nodes are
+ * boundary-free code segments, edges carry a 0/1 epoch-boundary weight.
+ * A dataflow instance supplies a bounded-height lattice and monotone
+ * transfer functions; the solver iterates a worklist to the (unique)
+ * greatest fixpoint. Forward and backward problems share one engine:
+ * backward problems run forward over the reversed edge set.
+ *
+ * Domain concept (the "lattice template"):
+ *
+ *   struct Domain {
+ *     using Value = ...;                 // a lattice element
+ *     Value top() const;                // identity of meet ("no info")
+ *     Value boundary() const;           // value at the entry (forward)
+ *                                       // or at every exit (backward)
+ *     // Meet @p v into @p into; return true iff @p into changed.
+ *     bool meetInto(Value &into, const Value &v) const;
+ *     // Node transfer function (monotone in @p in).
+ *     Value transfer(compiler::NodeId n, const Value &in) const;
+ *     // Edge transfer: how a value decays crossing an edge of weight
+ *     // @p w (0 = same epoch, >=1 = across that many boundaries).
+ *     Value edge(const Value &out, std::uint32_t w) const;
+ *   };
+ *
+ * Interprocedural reach: the epoch graph is built with calls virtually
+ * inlined, so one solve is already whole-program; the bottom-up
+ * ProcSummary side tables (compiler/summary.hh) supply the cheap
+ * may-MOD pre-filters a pass uses to skip arrays no procedure writes.
+ *
+ * Termination: transfer/edge monotone plus a finite-height Value
+ * lattice (every concrete domain here is either a saturating min over
+ * [0, unreachableDist] or a finite bit set) bounds the number of times
+ * any node can re-enter the worklist.
+ */
+
+#ifndef HSCD_VERIFY_DATAFLOW_HH
+#define HSCD_VERIFY_DATAFLOW_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "compiler/epoch_graph.hh"
+
+namespace hscd {
+namespace verify {
+
+enum class FlowDir : std::uint8_t
+{
+    Forward,
+    Backward,
+};
+
+/**
+ * Adjacency snapshot of an epoch graph, with the reversed edge set
+ * precomputed so one snapshot serves both directions.
+ */
+struct FlowGraph
+{
+    std::vector<std::vector<compiler::EpochEdge>> succs;
+    std::vector<std::vector<compiler::EpochEdge>> preds;
+
+    explicit FlowGraph(const compiler::EpochGraph &g)
+    {
+        succs.resize(g.nodes().size());
+        for (const compiler::EpochNode &n : g.nodes())
+            succs[n.id] = n.succs;
+        buildPreds();
+    }
+
+    /** From a raw adjacency (e.g. the oracle's re-derived graph). */
+    explicit FlowGraph(std::vector<std::vector<compiler::EpochEdge>> adj)
+        : succs(std::move(adj))
+    {
+        buildPreds();
+    }
+
+    std::size_t size() const { return succs.size(); }
+
+  private:
+    void
+    buildPreds()
+    {
+        preds.assign(succs.size(), {});
+        for (std::size_t n = 0; n < succs.size(); ++n)
+            for (const compiler::EpochEdge &e : succs[n])
+                preds[e.to].push_back(compiler::EpochEdge{
+                    static_cast<compiler::NodeId>(n), e.weight});
+    }
+};
+
+/** Per-node fixpoint: value at node entry and at node exit. */
+template <typename Domain>
+struct FlowResult
+{
+    std::vector<typename Domain::Value> in;
+    std::vector<typename Domain::Value> out;
+};
+
+/**
+ * Solve @p dom over @p g to its greatest fixpoint. For Backward
+ * problems `in` is the value at node *exit* and `out` at node *entry*
+ * (the engine runs forward over reversed edges; callers index
+ * semantically, which keeps the engine free of direction special
+ * cases).
+ */
+template <typename Domain>
+FlowResult<Domain>
+solveDataflow(const FlowGraph &g, FlowDir dir, const Domain &dom)
+{
+    const std::size_t n = g.size();
+    const auto &fwd = dir == FlowDir::Forward ? g.succs : g.preds;
+    const auto &bwd = dir == FlowDir::Forward ? g.preds : g.succs;
+
+    FlowResult<Domain> res;
+    res.in.assign(n, dom.top());
+    res.out.assign(n, dom.top());
+
+    std::deque<compiler::NodeId> work;
+    std::vector<bool> queued(n, false);
+    auto enqueue = [&](compiler::NodeId id) {
+        if (!queued[id]) {
+            queued[id] = true;
+            work.push_back(id);
+        }
+    };
+
+    // Roots: the program entry (forward) or every exit node (backward).
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool root = bwd[i].empty();
+        if (root)
+            dom.meetInto(res.in[i], dom.boundary());
+        enqueue(static_cast<compiler::NodeId>(i));
+    }
+
+    while (!work.empty()) {
+        const compiler::NodeId id = work.front();
+        work.pop_front();
+        queued[id] = false;
+
+        typename Domain::Value out = dom.transfer(id, res.in[id]);
+        const bool out_changed = dom.meetInto(res.out[id], out);
+        if (!out_changed)
+            continue;
+        for (const compiler::EpochEdge &e : fwd[id]) {
+            typename Domain::Value v = dom.edge(res.out[id], e.weight);
+            if (dom.meetInto(res.in[e.to], v))
+                enqueue(e.to);
+        }
+    }
+    return res;
+}
+
+/**
+ * Stock domain: saturating min-distance ("how many epoch boundaries
+ * since the nearest program point where `gens` holds"). Value semantics:
+ * unreachableDist = no generating point reaches here; d = some
+ * generating point lies exactly d boundaries back on the closest path.
+ * Used by the marking-precision passes with "node contains a
+ * may-conflicting write" as the generator; also the engine's reference
+ * instance for tests.
+ */
+class MinDistanceDomain
+{
+  public:
+    using Value = std::uint32_t;
+
+    /** @p gens[n] = node n generates distance 0. */
+    explicit MinDistanceDomain(std::vector<bool> gens)
+        : _gens(std::move(gens))
+    {}
+
+    Value top() const { return compiler::unreachableDist; }
+    Value boundary() const { return compiler::unreachableDist; }
+
+    bool
+    meetInto(Value &into, const Value &v) const
+    {
+        if (v < into) {
+            into = v;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    transfer(compiler::NodeId n, const Value &in) const
+    {
+        return _gens[n] ? 0 : in;
+    }
+
+    Value
+    edge(const Value &out, std::uint32_t w) const
+    {
+        if (out == compiler::unreachableDist)
+            return out;
+        // Saturating add keeps the lattice finite-height.
+        const Value sum = out + w;
+        return sum < out ? compiler::unreachableDist : sum;
+    }
+
+  private:
+    std::vector<bool> _gens;
+};
+
+/**
+ * Stock domain: intra-epoch must-availability of a finite fact set
+ * (bit-vector, meet = intersection). Facts are generated per node and
+ * die crossing any epoch boundary (weight >= 1 edge), so a fact is
+ * available at a node only when *every* same-epoch path from the
+ * epoch's start establishes it. Used by MARK002 with "a non-conditional
+ * Time-Read executed" as the fact universe.
+ */
+class EpochFactsDomain
+{
+  public:
+    /** Value: present-bit per fact; `universal` is the meet identity. */
+    struct Value
+    {
+        bool universal = true;
+        std::vector<bool> bits;
+    };
+
+    /**
+     * @p gens[n] = indices of the facts node n establishes;
+     * @p kills[n] = node n invalidates every incoming fact before its
+     * own gens (e.g. post/wait nodes, whose cross-task ordering breaks
+     * the intra-epoch guarantees the facts encode). Empty = no kills.
+     */
+    EpochFactsDomain(std::size_t facts,
+                     std::vector<std::vector<std::uint32_t>> gens,
+                     std::vector<bool> kills = {})
+        : _facts(facts), _gens(std::move(gens)), _kills(std::move(kills))
+    {}
+
+    Value top() const { return Value{true, {}}; }
+    Value boundary() const { return Value{false, noBits()}; }
+
+    bool
+    meetInto(Value &into, const Value &v) const
+    {
+        if (v.universal)
+            return false;
+        if (into.universal) {
+            into = v;
+            return true;
+        }
+        bool changed = false;
+        for (std::size_t i = 0; i < _facts; ++i) {
+            if (into.bits[i] && !v.bits[i]) {
+                into.bits[i] = false;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    Value
+    transfer(compiler::NodeId n, const Value &in) const
+    {
+        Value out = !_kills.empty() && _kills[n]
+                        ? Value{false, noBits()}
+                        : in;
+        if (out.universal)
+            return out;
+        for (std::uint32_t f : _gens[n])
+            out.bits[f] = true;
+        return out;
+    }
+
+    Value
+    edge(const Value &out, std::uint32_t w) const
+    {
+        // Epoch boundaries invalidate every intra-epoch fact.
+        return w > 0 ? Value{false, noBits()} : out;
+    }
+
+  private:
+    std::vector<bool> noBits() const
+    {
+        return std::vector<bool>(_facts, false);
+    }
+
+    std::size_t _facts;
+    std::vector<std::vector<std::uint32_t>> _gens;
+    std::vector<bool> _kills;
+};
+
+} // namespace verify
+} // namespace hscd
+
+#endif // HSCD_VERIFY_DATAFLOW_HH

@@ -1,6 +1,8 @@
 #include "verify/diagnostic.hh"
 
+#include "common/log.hh"
 #include "common/strutil.hh"
+#include "verify/catalog.hh"
 
 namespace hscd {
 namespace verify {
@@ -55,6 +57,15 @@ void
 DiagnosticEngine::report(const std::string &id, Severity sev, SourceLoc loc,
                          const std::string &message)
 {
+    // Every emitted ID must be cataloged with this exact severity: the
+    // catalog is the single source of truth a pass cannot drift from.
+    const CatalogEntry *entry = catalogLookup(id);
+    hscd_assert(entry, "diagnostic id '%s' is not in the catalog "
+                       "(src/verify/catalog.cc)", id.c_str());
+    hscd_assert(entry->severity == sev,
+                "diagnostic '%s' reported as %s but cataloged as %s",
+                id.c_str(), severityName(sev),
+                severityName(entry->severity));
     _diags.push_back(Diagnostic{id, sev, std::move(loc), message});
 }
 

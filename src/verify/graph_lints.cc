@@ -18,11 +18,18 @@
  *                     for sync-ordered bypasses). Bypass marks are the
  *                     most expensive class; an unjustified one points
  *                     at a marking bug.
+ *  GRAPH004 (warning) write-write-conflict: two distinct DOALL tasks of
+ *                     one parallel epoch provably write the same word
+ *                     with no lock or post/wait ordering them. Proven
+ *                     from the oracle's word-exact enumerated
+ *                     footprints, so it cannot fire on merely
+ *                     unprovable separation.
  */
 
 #include <vector>
 
 #include "common/strutil.hh"
+#include "verify/oracle.hh"
 #include "verify/pass.hh"
 
 namespace hscd {
@@ -42,9 +49,15 @@ class GraphLintPass : public LintPass
   public:
     const char *name() const override { return "graph-lints"; }
 
+    std::vector<std::string>
+    ids() const override
+    {
+        return {"GRAPH001", "GRAPH002", "GRAPH003", "GRAPH004"};
+    }
+
     void
     run(const compiler::CompiledProgram &cp, const LintOptions &opts,
-        DiagnosticEngine &diags) override
+        AnalysisCache &cache, DiagnosticEngine &diags) override
     {
         const EpochGraph &g = cp.graph;
         const hir::Program &prog = cp.program;
@@ -127,6 +140,28 @@ class GraphLintPass : public LintPass
                     SourceLoc::ofRef(prog, id),
                     "bypass(sync) mark on a read none of whose epochs "
                     "contains post/wait synchronization");
+            }
+        }
+
+        // GRAPH004: proven unsynchronized same-word writes, computed by
+        // the oracle from enumerated footprints (shared via the cache).
+        if (opts.runOracle) {
+            const OracleReport &rep = cache.oracle(cp, opts);
+            for (const WriteConflict &wc : rep.writeConflicts) {
+                const std::string where =
+                    wc.a == wc.b
+                        ? std::string("this write")
+                        : csprintf("this write and %s",
+                                   SourceLoc::ofRef(prog, wc.b).str());
+                diags.report(
+                    "GRAPH004", Severity::Warning,
+                    SourceLoc::ofRef(prog, wc.a),
+                    csprintf("DOALL tasks %d and %d both write word %d "
+                             "of %s (%s) with no lock or post/wait "
+                             "ordering them; the final value depends on "
+                             "task scheduling",
+                             wc.taskA, wc.taskB, wc.word,
+                             prog.array(wc.array).name, where));
             }
         }
     }

@@ -54,9 +54,16 @@ class HirLintPass : public LintPass
   public:
     const char *name() const override { return "hir-lints"; }
 
+    std::vector<std::string>
+    ids() const override
+    {
+        return {"HIR001", "HIR002", "HIR003", "HIR004", "HIR005",
+                "HIR006", "HIR007"};
+    }
+
     void
     run(const compiler::CompiledProgram &cp, const LintOptions &,
-        DiagnosticEngine &diags) override
+        AnalysisCache &, DiagnosticEngine &diags) override
     {
         _prog = &cp.program;
         _diags = &diags;

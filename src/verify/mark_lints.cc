@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Marking-precision lints (diagnostic ids MARK001..MARK003).
+ *
+ *  MARK001 (note) proven-over-conservative: the compiler's mark is
+ *                 strictly more severe than the soundness oracle's
+ *                 word-exact requirement — the static counterpart of
+ *                 ORACLE002 that also names the minimal sound
+ *                 replacement `hscd_lint --tighten` would install.
+ *  MARK002 (note) redundant-marking: a Time-Read every occurrence of
+ *                 which is dominated, within its epoch instance, by an
+ *                 earlier same-task Time-Read covering the same words
+ *                 at an equal-or-stricter distance; on TPI it can never
+ *                 refetch, while SC pays for it on every execution.
+ *  MARK003 (note) distance-saturation: the dataflow lower bound on the
+ *                 true epochs-since-last-write distance exceeds the
+ *                 2^timetagBits - 1 window, proving the emitted
+ *                 distance was clamped — the static predictor for the
+ *                 paper's CONSERVATIVE miss class.
+ */
+
+#include "common/strutil.hh"
+#include "verify/oracle.hh"
+#include "verify/pass.hh"
+#include "verify/precision.hh"
+
+namespace hscd {
+namespace verify {
+
+namespace {
+
+class MarkLintPass : public LintPass
+{
+  public:
+    const char *name() const override { return "marking-precision"; }
+
+    std::vector<std::string>
+    ids() const override
+    {
+        return {"MARK001", "MARK002", "MARK003"};
+    }
+
+    void
+    run(const compiler::CompiledProgram &cp, const LintOptions &opts,
+        AnalysisCache &cache, DiagnosticEngine &diags) override
+    {
+        if (!opts.runOracle)
+            return;
+        const hir::Program &prog = cp.program;
+        const OracleReport &oracle = cache.oracle(cp, opts);
+        const PrecisionReport rep = precisionAnalyze(cp, opts, oracle);
+
+        for (const Tighten &t : rep.overConservative) {
+            const compiler::Mark to{t.toKind, t.from.reason,
+                                    t.toDistance};
+            diags.report(
+                "MARK001", Severity::Note,
+                SourceLoc::ofRef(prog, t.ref),
+                csprintf("mark %s is proven over-conservative; the "
+                         "word-exact oracle requirement is %s "
+                         "(--tighten rewrites it)",
+                         t.from.str(), to.str()));
+        }
+
+        for (const RedundantMark &rm : oracle.redundantMarks) {
+            diags.report(
+                "MARK002", Severity::Note,
+                SourceLoc::ofRef(prog, rm.ref),
+                csprintf("time-read is redundant: every occurrence is "
+                         "dominated by the earlier time-read at %s with "
+                         "an equal-or-stricter distance, so on TPI it "
+                         "can never refetch",
+                         SourceLoc::ofRef(prog, rm.dominator).str()));
+        }
+
+        for (const Saturation &s : rep.saturated) {
+            diags.report(
+                "MARK003", Severity::Note,
+                SourceLoc::ofRef(prog, s.ref),
+                csprintf("time-read distance saturates the timetag "
+                         "window: the true distance is provably >= %s "
+                         "but %d-bit timetags encode at most %d, so the "
+                         "mark was clamped to %d and stale-window "
+                         "misses become CONSERVATIVE misses",
+                         s.provenLower == compiler::unreachableDist
+                             ? std::string("unbounded")
+                             : csprintf("%d", s.provenLower),
+                         opts.timetagBits, s.window, s.markedDistance));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass>
+makeMarkLintPass()
+{
+    return std::make_unique<MarkLintPass>();
+}
+
+} // namespace verify
+} // namespace hscd

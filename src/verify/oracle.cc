@@ -7,15 +7,16 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "common/strutil.hh"
+#include "verify/dataflow.hh"
 
 namespace hscd {
 namespace verify {
 
-using compiler::AnalysisOptions;
 using compiler::MarkKind;
 using hir::ArrayRefStmt;
 using hir::CallStmt;
@@ -60,14 +61,45 @@ struct Footprint
 {
     bool whole = false;   ///< widened to the whole array
     bool approx = false;  ///< over-approximate (unknown subscripts)
+    /**
+     * Task labels are unknowable (LabelMode::Top): taskTop entries mean
+     * "maybe several tasks", not "provably several". When false, every
+     * taskTop label came from a concrete-label collision.
+     */
+    bool labelTop = false;
+    /**
+     * Top-mode refinement: the enclosing DOALL provably runs >= 2
+     * tasks, so every word here is touched by at least tasks
+     * multiTaskA and multiTaskB (used by the proven-only write-write
+     * conflict scan even though per-word labels are taskTop).
+     */
+    bool multiTask = false;
+    std::int64_t multiTaskA = 0;
+    std::int64_t multiTaskB = 0;
     std::unordered_map<std::uint64_t, std::int64_t> words;
+
+    /** First word where two concrete task labels collided. */
+    struct Clash
+    {
+        std::uint64_t word = 0;
+        std::int64_t a = 0;
+        std::int64_t b = 0;
+    };
+    std::optional<Clash> clash;
 
     void
     addWord(std::uint64_t w, std::int64_t label)
     {
         auto [it, inserted] = words.try_emplace(w, label);
-        if (!inserted && it->second != label)
+        if (!inserted && it->second != label) {
+            if (it->second != taskTop && label != taskTop &&
+                (!clash || w < clash->word))
+            {
+                clash = Clash{w, std::min(it->second, label),
+                              std::max(it->second, label)};
+            }
             it->second = taskTop;
+        }
     }
 };
 
@@ -111,6 +143,13 @@ struct OLoop
     IntExpr hi;
     std::int64_t step = 1;
     bool parallel = false;
+
+    bool
+    operator==(const OLoop &o) const
+    {
+        return var == o.var && lo == o.lo && hi == o.hi &&
+               step == o.step && parallel == o.parallel;
+    }
 };
 
 struct OOcc
@@ -118,7 +157,11 @@ struct OOcc
     hir::RefId ref = hir::invalidRef;
     const ArrayRefStmt *stmt = nullptr;
     bool inCritical = false;
+    /** Under a non-boundary IfUnknown: may not execute with its node. */
+    bool conditional = false;
     bool covered = false;
+    /** Enclosing loops at the occurrence, outermost first. */
+    std::vector<OLoop> loops;
     Footprint fp;
 };
 
@@ -429,9 +472,18 @@ class OracleBuilder
                     {
                         mode = LabelMode::Fixed; // provably single trip
                         fixed_label = lo->lo;
+                    } else if (lo && hi && lo->lo == lo->hi &&
+                               hi->lo == hi->hi &&
+                               lo->lo + l.step <= hi->hi)
+                    {
+                        // Provably >= 2 tasks, each touching every word.
+                        fp.multiTask = true;
+                        fp.multiTaskA = lo->lo;
+                        fp.multiTaskB = lo->lo + l.step;
                     }
                     break;
                 }
+                fp.labelTop = mode == LabelMode::Top;
             }
         }
 
@@ -530,6 +582,8 @@ class OracleBuilder
         occ.ref = ref.id;
         occ.stmt = &ref;
         occ.inCritical = _criticalDepth > 0;
+        occ.conditional = _condDepth > 0;
+        occ.loops = _loops;
         occ.fp = footprintFor(ref);
         if (ref.isWrite) {
             if (_criticalDepth > 0) {
@@ -620,11 +674,19 @@ class OracleBuilder
 
         const bool boundary = !_inParallel && listHasBoundary(l.body);
         if (!boundary) {
+            // A possibly-zero-trip loop makes its refs conditional for
+            // the must-execute (domination) analysis. Entry bounds are
+            // evaluated in the enclosing environment.
+            const bool may_skip = !atLeastOneTrip(l);
+            if (may_skip)
+                ++_condDepth;
             pushLoopVar(l);
             std::size_t snapshot = _cover.size();
             walk(l.body);
             _cover.filterLoopExit(snapshot, l.var, atLeastOneTrip(l));
             popLoopVar();
+            if (may_skip)
+                --_condDepth;
             return;
         }
 
@@ -654,10 +716,12 @@ class OracleBuilder
                              listHasBoundary(br.elseBody));
         if (!boundary) {
             OCover entry = _cover;
+            ++_condDepth;
             walk(br.thenBody);
             OCover then_out = std::move(_cover);
             _cover = entry;
             walk(br.elseBody);
+            --_condDepth;
             _cover.intersectWith(then_out);
             return;
         }
@@ -735,6 +799,7 @@ class OracleBuilder
     std::map<std::string, Range> _ranges;
     std::vector<std::pair<std::string, std::optional<Range>>> _rangeSaves;
     int _criticalDepth = 0;
+    int _condDepth = 0;
     bool _inParallel = false;
     OCover _cover;
     OCover _criticalCover;
@@ -853,13 +918,16 @@ oracleAnalyze(const compiler::CompiledProgram &cp, const LintOptions &opts)
         whole_write[w.occ->stmt->array] |=
             w.occ->fp.whole || w.occ->fp.approx;
 
-    const AnalysisOptions &aopts = cp.options;
+    // The requirement clamp is a property of the verified machine (the
+    // widest encodable Time-Read operand), NOT the compiler's own
+    // AnalysisOptions::maxDistance budget: a marking clamped by a
+    // smaller compiler budget is over-conservative for this machine,
+    // and MARK001/--tighten may provably relax it up to the window.
     const std::uint32_t max_encodable =
         opts.timetagBits >= 32
             ? ~std::uint32_t{0}
             : (std::uint32_t{1} << opts.timetagBits) - 1;
-    const std::uint32_t clamp =
-        std::min(aopts.maxDistance, max_encodable);
+    const std::uint32_t clamp = max_encodable;
 
     std::vector<std::uint64_t> joined_sev(prog.refCount(), 0);
     std::vector<bool> assigned(prog.refCount(), false);
@@ -884,7 +952,9 @@ oracleAnalyze(const compiler::CompiledProgram &cp, const LintOptions &opts)
                     continue;
                 if (!mayOverlap(r.occ->fp, w.occ->fp))
                     continue;
-                if (aopts.assumeSerialAffinity && !w.node->parallel &&
+                // Affinity is a property of the verified machine (the
+                // lint option), not of how boldly the compiler marked.
+                if (opts.serialAffinity && !w.node->parallel &&
                     !r.node->parallel)
                     continue;
 
@@ -941,6 +1011,226 @@ oracleAnalyze(const compiler::CompiledProgram &cp, const LintOptions &opts)
         report.required[id].exact = exact[id];
     }
 
+    // Proven same-epoch cross-task write-write conflicts (GRAPH004).
+    // Proven-only discipline: a conflict needs word-exact footprints
+    // and either two distinct concrete task labels on one word or a
+    // provably multi-trip DOALL whose writes ignore the task index.
+    // Lock-serialized writes and post/wait-ordered epochs are excluded:
+    // there the interleaving is synchronized, not racy.
+    std::set<std::tuple<hir::RefId, hir::RefId, std::uint64_t>> seen_wc;
+    auto add_conflict = [&](const OOcc &a, const OOcc &b,
+                            std::uint64_t word, std::int64_t ta,
+                            std::int64_t tb) {
+        if (!seen_wc.insert({a.ref, b.ref, word}).second)
+            return;
+        WriteConflict wc;
+        wc.a = a.ref;
+        wc.b = b.ref;
+        wc.array = a.stmt->array;
+        wc.word = word;
+        wc.taskA = std::min(ta, tb);
+        wc.taskB = std::max(ta, tb);
+        report.writeConflicts.push_back(wc);
+    };
+    for (const ONode &n : nodes) {
+        if (!n.parallel || n.hasSync)
+            continue;
+        std::vector<const OOcc *> ws;
+        for (const OOcc &occ : n.refs) {
+            const Footprint &fp = occ.fp;
+            if (!occ.stmt->isWrite || occ.inCritical || fp.whole ||
+                fp.approx || (fp.labelTop && !fp.multiTask))
+                continue;
+            ws.push_back(&occ);
+            if (fp.clash) {
+                add_conflict(occ, occ, fp.clash->word, fp.clash->a,
+                             fp.clash->b);
+            } else if (fp.multiTask && !fp.words.empty()) {
+                std::uint64_t w = ~std::uint64_t{0};
+                for (const auto &[word, label] : fp.words)
+                    w = std::min(w, word);
+                add_conflict(occ, occ, w, fp.multiTaskA, fp.multiTaskB);
+            }
+        }
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            for (std::size_t j = i + 1; j < ws.size(); ++j) {
+                const Footprint &fa = ws[i]->fp;
+                const Footprint &fb = ws[j]->fp;
+                if (ws[i]->stmt->array != ws[j]->stmt->array)
+                    continue;
+                const Footprint &small =
+                    fa.words.size() <= fb.words.size() ? fa : fb;
+                const Footprint &big = &small == &fa ? fb : fa;
+                std::uint64_t best = ~std::uint64_t{0};
+                std::int64_t ta = 0, tb = 0;
+                for (const auto &[word, la] : small.words) {
+                    auto it = big.words.find(word);
+                    if (it == big.words.end() || word >= best)
+                        continue;
+                    const std::int64_t lb = it->second;
+                    if (fa.multiTask || fb.multiTask) {
+                        const Footprint &m = fa.multiTask ? fa : fb;
+                        best = word;
+                        ta = m.multiTaskA;
+                        tb = m.multiTaskB;
+                    } else if (la != taskTop && lb != taskTop &&
+                               la != lb)
+                    {
+                        best = word;
+                        ta = la;
+                        tb = lb;
+                    }
+                }
+                if (best != ~std::uint64_t{0})
+                    add_conflict(*ws[i], *ws[j], best, ta, tb);
+            }
+        }
+    }
+
+    // Redundant-marking domination (MARK002 input): a Time-Read whose
+    // every occurrence is provably preceded, within the same epoch
+    // instance, by a same-task non-conditional Time-Read covering its
+    // words at an equal-or-stricter distance. Cross-node precedence is
+    // established by the must-availability dataflow (facts die at epoch
+    // boundaries and at post/wait nodes); intra-node precedence by walk
+    // order plus either lockstep identity (identical loop nests and
+    // subscripts) or completed-subtree containment (no shared serial
+    // loop, word containment per task).
+    {
+        auto mark_of = [&](hir::RefId id) -> const compiler::Mark & {
+            return cp.marking.mark(id);
+        };
+
+        struct Cand
+        {
+            const OOcc *occ;
+            const ONode *node;
+            std::size_t idx;
+        };
+        std::vector<Cand> cands;
+        std::vector<std::vector<std::uint32_t>> gens(nodes.size());
+        std::vector<bool> kills(nodes.size(), false);
+        std::vector<std::vector<compiler::EpochEdge>> adj(nodes.size());
+        for (const ONode &n : nodes) {
+            kills[n.id] = n.hasSync;
+            for (const auto &[to, w] : n.succs)
+                adj[n.id].push_back(compiler::EpochEdge{to, w});
+            if (n.hasSync)
+                continue;
+            for (std::size_t i = 0; i < n.refs.size(); ++i) {
+                const OOcc &occ = n.refs[i];
+                if (occ.stmt->isWrite || occ.conditional ||
+                    occ.inCritical || occ.fp.whole || occ.fp.approx ||
+                    mark_of(occ.ref).kind != MarkKind::TimeRead)
+                    continue;
+                gens[n.id].push_back(
+                    static_cast<std::uint32_t>(cands.size()));
+                cands.push_back({&occ, &n, i});
+            }
+        }
+        FlowGraph fg(std::move(adj));
+        EpochFactsDomain dom(cands.size(), gens, kills);
+        auto avail = solveDataflow(fg, FlowDir::Forward, dom);
+
+        // Task-aware word containment: every word the target touches is
+        // touched by the dominator from the same task (or from every
+        // task, when the dominator's subscripts ignore the DOALL index).
+        auto dominates_words = [](const Footprint &f1,
+                                  const Footprint &f2) {
+            for (const auto &[w, l2] : f2.words) {
+                auto it = f1.words.find(w);
+                if (it == f1.words.end())
+                    return false;
+                if (f1.labelTop)
+                    continue;
+                if (l2 == taskTop || it->second != l2)
+                    return false;
+            }
+            return true;
+        };
+
+        // The shared loop prefix may contain only DOALL loops: any
+        // shared serial loop interleaves the two subtrees, so "listed
+        // earlier" would no longer mean "completed earlier".
+        auto prefix_parallel_only = [](const std::vector<OLoop> &a,
+                                       const std::vector<OLoop> &b) {
+            for (std::size_t i = 0;
+                 i < a.size() && i < b.size() && a[i] == b[i]; ++i)
+                if (!a[i].parallel)
+                    return false;
+            return true;
+        };
+
+        std::vector<std::vector<std::pair<const ONode *, std::size_t>>>
+            occs_of(prog.refCount());
+        for (const ONode &n : nodes)
+            for (std::size_t i = 0; i < n.refs.size(); ++i)
+                if (!n.refs[i].stmt->isWrite)
+                    occs_of[n.refs[i].ref].push_back({&n, i});
+
+        for (hir::RefId id = 0; id < prog.refCount(); ++id) {
+            if (occs_of[id].empty() ||
+                mark_of(id).kind != MarkKind::TimeRead)
+                continue;
+            const std::uint32_t d2 = mark_of(id).distance;
+            hir::RefId dominator = hir::invalidRef;
+            bool all = true;
+            for (const auto &[n, idx] : occs_of[id]) {
+                const OOcc &occ = n->refs[idx];
+                if (occ.inCritical || occ.fp.whole || occ.fp.approx ||
+                    n->hasSync)
+                {
+                    all = false;
+                    break;
+                }
+                hir::RefId found = hir::invalidRef;
+                for (const Cand &c : cands) {
+                    if (c.node != n || c.idx >= idx || c.occ->ref == id)
+                        continue;
+                    if (c.occ->stmt->array != occ.stmt->array ||
+                        mark_of(c.occ->ref).distance > d2)
+                        continue;
+                    const bool lockstep =
+                        c.occ->loops == occ.loops &&
+                        c.occ->stmt->subs == occ.stmt->subs;
+                    const bool completed =
+                        prefix_parallel_only(c.occ->loops, occ.loops) &&
+                        dominates_words(c.occ->fp, occ.fp);
+                    if (lockstep || completed) {
+                        found = c.occ->ref;
+                        break;
+                    }
+                }
+                if (found == hir::invalidRef &&
+                    !avail.in[n->id].universal)
+                {
+                    for (std::size_t f = 0; f < cands.size(); ++f) {
+                        if (!avail.in[n->id].bits[f])
+                            continue;
+                        const Cand &c = cands[f];
+                        if (c.occ->ref == id ||
+                            c.occ->stmt->array != occ.stmt->array ||
+                            mark_of(c.occ->ref).distance > d2)
+                            continue;
+                        if (dominates_words(c.occ->fp, occ.fp)) {
+                            found = c.occ->ref;
+                            break;
+                        }
+                    }
+                }
+                if (found == hir::invalidRef) {
+                    all = false;
+                    break;
+                }
+                if (dominator == hir::invalidRef)
+                    dominator = found;
+            }
+            if (all && dominator != hir::invalidRef)
+                report.redundantMarks.push_back(
+                    RedundantMark{id, dominator});
+        }
+    }
+
     // Compare against the real marking.
     for (hir::RefId id = 0; id < prog.refCount(); ++id) {
         if (prog.refInfo(id).stmt->isWrite)
@@ -967,13 +1257,19 @@ class OraclePass : public LintPass
   public:
     const char *name() const override { return "stale-marking-oracle"; }
 
+    std::vector<std::string>
+    ids() const override
+    {
+        return {"ORACLE001", "ORACLE002"};
+    }
+
     void
     run(const compiler::CompiledProgram &cp, const LintOptions &opts,
-        DiagnosticEngine &diags) override
+        AnalysisCache &cache, DiagnosticEngine &diags) override
     {
         if (!opts.runOracle)
             return;
-        OracleReport rep = oracleAnalyze(cp, opts);
+        const OracleReport &rep = cache.oracle(cp, opts);
         const hir::Program &prog = cp.program;
 
         for (hir::RefId id : rep.underMarked) {

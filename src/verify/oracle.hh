@@ -62,6 +62,39 @@ struct OracleRequirement
     std::string str() const;
 };
 
+/**
+ * A proven same-epoch cross-task write-write conflict: two distinct
+ * DOALL tasks of one parallel epoch node write the same word with no
+ * lock or post/wait between them, so the word's final value depends on
+ * task scheduling. Proven-only: both footprints were enumerated
+ * word-exactly with concrete task labels, so this never fires on
+ * merely-unprovable separation (a `--werror` gate must not flake).
+ */
+struct WriteConflict
+{
+    hir::RefId a = hir::invalidRef;  ///< first write (catalog order)
+    hir::RefId b = hir::invalidRef;  ///< second write (may equal a)
+    hir::ArrayId array = hir::invalidArray;
+    std::uint64_t word = 0;          ///< smallest conflicting word
+    /** Two distinct tasks proven to write `word` (taskA < taskB). */
+    std::int64_t taskA = 0;
+    std::int64_t taskB = 0;
+};
+
+/**
+ * A Time-Read whose every occurrence is dominated, within the same
+ * epoch instance, by an earlier non-conditional Time-Read covering the
+ * same words from the same task at an equal-or-stricter distance. On
+ * TPI the dominated read can never refetch (the dominator left the
+ * word's timetag at >= EC - d1 >= EC - d2, modulo mid-epoch tag
+ * resets), yet on SC its marking costs a refetch every execution.
+ */
+struct RedundantMark
+{
+    hir::RefId ref = hir::invalidRef;        ///< the dominated read
+    hir::RefId dominator = hir::invalidRef;  ///< one proving dominator
+};
+
 struct OracleReport
 {
     /** Per-RefId requirement (writes get a default None entry). */
@@ -72,6 +105,10 @@ struct OracleReport
     std::vector<hir::RefId> overMarked;
     /** Reads whose analysis needed a whole-array fallback somewhere. */
     std::uint64_t inexactReads = 0;
+    /** Proven unsynchronized same-word writes (GRAPH004 input). */
+    std::vector<WriteConflict> writeConflicts;
+    /** Time-Reads dominated by an earlier one (MARK002 input). */
+    std::vector<RedundantMark> redundantMarks;
 };
 
 /** Run the oracle dataflow and compare against cp.marking. */

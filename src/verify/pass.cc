@@ -1,7 +1,45 @@
 #include "verify/pass.hh"
 
+#include <algorithm>
+
+#include "common/log.hh"
+#include "verify/catalog.hh"
+#include "verify/oracle.hh"
+
 namespace hscd {
 namespace verify {
+
+AnalysisCache::AnalysisCache() = default;
+AnalysisCache::~AnalysisCache() = default;
+
+const OracleReport &
+AnalysisCache::oracle(const compiler::CompiledProgram &cp,
+                      const LintOptions &opts)
+{
+    if (!_oracle)
+        _oracle = std::make_unique<OracleReport>(oracleAnalyze(cp, opts));
+    return *_oracle;
+}
+
+void
+PassManager::add(std::unique_ptr<LintPass> pass)
+{
+    for (const std::string &id : pass->ids()) {
+        const CatalogEntry *entry = catalogLookup(id);
+        hscd_assert(entry, "pass '%s' declares uncataloged diagnostic "
+                           "id '%s'", pass->name(), id.c_str());
+        hscd_assert(std::string(entry->pass) == pass->name(),
+                    "diagnostic id '%s' is cataloged for pass '%s' but "
+                    "declared by pass '%s'",
+                    id.c_str(), entry->pass, pass->name());
+        hscd_assert(std::find(_claimed.begin(), _claimed.end(), id) ==
+                        _claimed.end(),
+                    "diagnostic id '%s' claimed by two registered passes",
+                    id.c_str());
+        _claimed.push_back(id);
+    }
+    _passes.push_back(std::move(pass));
+}
 
 PassManager
 PassManager::standard()
@@ -10,6 +48,7 @@ PassManager::standard()
     pm.add(makeHirLintPass());
     pm.add(makeGraphLintPass());
     pm.add(makeOraclePass());
+    pm.add(makeMarkLintPass());
     return pm;
 }
 
@@ -18,7 +57,8 @@ lintProgram(const compiler::CompiledProgram &cp,
             const std::string &program_name, const LintOptions &opts)
 {
     DiagnosticEngine diags(program_name);
-    PassManager::standard().runAll(cp, opts, diags);
+    AnalysisCache cache;
+    PassManager::standard().runAll(cp, opts, cache, diags);
     return diags;
 }
 

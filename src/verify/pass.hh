@@ -5,17 +5,27 @@
  * A LintPass inspects one CompiledProgram and reports findings through
  * the DiagnosticEngine. The PassManager owns a pipeline of passes and
  * runs them in registration order, so lint output is deterministic.
+ * Passes declare the diagnostic IDs they may emit; registration asserts
+ * every declared ID is cataloged (verify/catalog.hh) and claimed by at
+ * most one pass, so an ID's meaning can never silently fork.
  *
- * Three pass families ship with the repo (see verify.hh):
+ * Expensive shared analyses (the word-granular oracle) are computed
+ * once per lint through the AnalysisCache that runAll() threads through
+ * every pass: the oracle pass, the marking-precision passes, and the
+ * write-write conflict lint all consume one OracleReport.
+ *
+ * Four pass families ship with the repo (see verify.hh):
  *  - HIR well-formedness lints (HIRxxx)      - hir_lints.cc
  *  - epoch-graph structural lints (GRAPHxxx) - graph_lints.cc
  *  - the stale-marking soundness oracle (ORACLExxx) - oracle.cc
+ *  - marking-precision analysis (MARKxxx)    - mark_lints.cc
  */
 
 #ifndef HSCD_VERIFY_PASS_HH
 #define HSCD_VERIFY_PASS_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "compiler/analysis.hh"
@@ -23,6 +33,8 @@
 
 namespace hscd {
 namespace verify {
+
+struct OracleReport;
 
 struct LintOptions
 {
@@ -32,7 +44,10 @@ struct LintOptions
      * is the paper's 8-bit tag (Figure 8).
      */
     unsigned timetagBits = 8;
-    /** Run the (relatively expensive) stale-marking oracle. */
+    /** Run the (relatively expensive) stale-marking oracle. The
+     *  marking-precision (MARK) and write-write conflict (GRAPH004)
+     *  analyses build on the oracle's word-exact footprints, so this
+     *  gates them too. */
     bool runOracle = true;
     /**
      * Word-enumeration budget per reference footprint in the oracle;
@@ -40,6 +55,37 @@ struct LintOptions
      * loses the precision needed to prove over-marking).
      */
     std::uint64_t oracleWordCap = 1u << 22;
+    /**
+     * Machine model the oracle verifies against: serial epochs are
+     * pinned to processor 0 (true for the paper's runtime; the compiler
+     * setting AnalysisOptions::assumeSerialAffinity says whether the
+     * *marking* exploited that). Set false to check a marking for a
+     * runtime that migrates serial epochs: affinity-based Normal marks
+     * then surface as ORACLE001 under-markings.
+     */
+    bool serialAffinity = true;
+};
+
+/**
+ * Analyses shared across passes in one lint run, computed lazily so a
+ * pipeline that never asks (e.g. with runOracle off) pays nothing and
+ * the word enumeration happens at most once per program.
+ */
+class AnalysisCache
+{
+  public:
+    AnalysisCache();
+    ~AnalysisCache();
+
+    AnalysisCache(const AnalysisCache &) = delete;
+    AnalysisCache &operator=(const AnalysisCache &) = delete;
+
+    /** The word-granular oracle report for @p cp (built on first use). */
+    const OracleReport &oracle(const compiler::CompiledProgram &cp,
+                               const LintOptions &opts);
+
+  private:
+    std::unique_ptr<OracleReport> _oracle;
 };
 
 class LintPass
@@ -48,23 +94,25 @@ class LintPass
     virtual ~LintPass() = default;
 
     virtual const char *name() const = 0;
+    /** Diagnostic IDs this pass may emit (checked at registration). */
+    virtual std::vector<std::string> ids() const = 0;
     virtual void run(const compiler::CompiledProgram &cp,
-                     const LintOptions &opts, DiagnosticEngine &diags) = 0;
+                     const LintOptions &opts, AnalysisCache &cache,
+                     DiagnosticEngine &diags) = 0;
 };
 
 /** Factories for the stock pass families. */
 std::unique_ptr<LintPass> makeHirLintPass();
 std::unique_ptr<LintPass> makeGraphLintPass();
 std::unique_ptr<LintPass> makeOraclePass();
+std::unique_ptr<LintPass> makeMarkLintPass();
 
 class PassManager
 {
   public:
-    void
-    add(std::unique_ptr<LintPass> pass)
-    {
-        _passes.push_back(std::move(pass));
-    }
+    /** Register @p pass; asserts its declared IDs are cataloged under
+     *  this pass's name and not already claimed. */
+    void add(std::unique_ptr<LintPass> pass);
 
     const std::vector<std::unique_ptr<LintPass>> &
     passes() const
@@ -74,17 +122,18 @@ class PassManager
 
     void
     runAll(const compiler::CompiledProgram &cp, const LintOptions &opts,
-           DiagnosticEngine &diags) const
+           AnalysisCache &cache, DiagnosticEngine &diags) const
     {
         for (const auto &p : _passes)
-            p->run(cp, opts, diags);
+            p->run(cp, opts, cache, diags);
     }
 
-    /** The standard pipeline: HIR lints, graph lints, oracle. */
+    /** The standard pipeline: HIR, graph, oracle, marking precision. */
     static PassManager standard();
 
   private:
     std::vector<std::unique_ptr<LintPass>> _passes;
+    std::vector<std::string> _claimed;
 };
 
 /** Run the standard pipeline over @p cp and return the diagnostics. */

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Marking-precision analyses (MARK001 / MARK003 inputs) and the
+ * proven-safe tightening rewrite behind `hscd_lint --tighten`.
+ *
+ * MARK001 (over-conservative marks) compares the compiler's mark
+ * against the soundness oracle's word-exact requirement under the
+ * shared severity scalar (compiler/marking.hh markSeverity): a strictly
+ * more severe mark on a read whose oracle analysis never widened to a
+ * whole-array footprint is provably over-conservative, and the oracle
+ * requirement itself — already clamped to the encodable window — is the
+ * minimal sound replacement.
+ *
+ * MARK003 (distance saturation) solves a MinDistanceDomain problem per
+ * array over the epoch flow graph: gens = "node contains a may-write of
+ * the array", so the fixpoint at a read is a LOWER bound on the true
+ * epochs-since-last-conflicting-write distance (the gen set is a
+ * superset of the truly conflicting writes, and extra or nearer
+ * generators only shrink a min). A lower bound above 2^timetagBits - 1
+ * therefore proves the marked distance was clamped: the hardware window
+ * cannot express the real distance, and every Time-Read whose cached
+ * copy outlives the window refetches — the static predictor for the
+ * paper's CONSERVATIVE miss class. The interprocedural ProcSummary
+ * may-MOD tables pre-filter arrays no procedure writes before any
+ * per-array solve.
+ */
+
+#ifndef HSCD_VERIFY_PRECISION_HH
+#define HSCD_VERIFY_PRECISION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/analysis.hh"
+#include "verify/oracle.hh"
+#include "verify/pass.hh"
+
+namespace hscd {
+namespace verify {
+
+/** One proven-safe marking rewrite (MARK001). */
+struct Tighten
+{
+    hir::RefId ref = hir::invalidRef;
+    compiler::Mark from;              ///< the compiler's current mark
+    compiler::MarkKind toKind = compiler::MarkKind::Normal;
+    std::uint32_t toDistance = 0;     ///< valid when toKind == TimeRead
+};
+
+/** One proven saturation of the timetag window (MARK003). */
+struct Saturation
+{
+    hir::RefId ref = hir::invalidRef;
+    std::uint32_t markedDistance = 0; ///< distance the compiler emitted
+    std::uint32_t provenLower = 0;    ///< dataflow lower bound on truth
+    std::uint32_t window = 0;         ///< 2^timetagBits - 1
+};
+
+struct PrecisionReport
+{
+    /** Reads whose mark is provably stronger than required (MARK001). */
+    std::vector<Tighten> overConservative;
+    /** Time-Reads whose true distance provably exceeds the window. */
+    std::vector<Saturation> saturated;
+};
+
+/**
+ * Run both precision analyses. @p oracle must come from the same
+ * @p cp / @p opts pair (passes share it via AnalysisCache).
+ */
+PrecisionReport precisionAnalyze(const compiler::CompiledProgram &cp,
+                                 const LintOptions &opts,
+                                 const OracleReport &oracle);
+
+/**
+ * Apply every MARK001 rewrite in @p rep to @p cp's marking and refresh
+ * its statistics. Only weakens marks the oracle proved over-strict, so
+ * the result stays sound by the oracle's conservatism contract; callers
+ * re-lint and re-simulate with the runtime checkers anyway.
+ */
+void tightenMarking(compiler::CompiledProgram &cp,
+                    const PrecisionReport &rep);
+
+} // namespace verify
+} // namespace hscd
+
+#endif // HSCD_VERIFY_PRECISION_HH

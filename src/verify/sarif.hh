@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SARIF 2.1.0 renderer for lint diagnostics.
+ *
+ * One hscd_lint invocation renders as a single SARIF `run`: the
+ * diagnostic catalog becomes the driver's rule table (every cataloged
+ * ID, not just the fired ones, so ruleIndex is stable across runs), and
+ * each diagnostic becomes a `result` with a logical location — the HIR
+ * has no files, so locations are `logicalLocations` of the form
+ * program::proc::site rather than physical artifact references.
+ *
+ * Determinism contract: the rendered document is byte-identical at any
+ * `--jobs` value. Results are emitted in input order per target, and
+ * the embedded provenance properties deliberately omit the one field
+ * (`jobs`) the provenance header format allows to vary.
+ */
+
+#ifndef HSCD_VERIFY_SARIF_HH
+#define HSCD_VERIFY_SARIF_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/provenance.hh"
+#include "verify/diagnostic.hh"
+
+namespace hscd {
+namespace verify {
+
+/**
+ * Render @p programs (one engine per linted target, in input order) as
+ * a complete SARIF 2.1.0 log. @p prov supplies the run's provenance
+ * properties (schema, tool, configHash; `jobs` is omitted by design).
+ */
+std::string renderSarif(const std::vector<DiagnosticEngine> &programs,
+                        const obs::Provenance &prov);
+
+} // namespace verify
+} // namespace hscd
+
+#endif // HSCD_VERIFY_SARIF_HH

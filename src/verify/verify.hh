@@ -1,14 +1,20 @@
 /**
  * @file
  * Umbrella header for the coherence soundness verifier: diagnostic
- * engine, lint pass manager, and the stale-marking oracle.
+ * engine and ID catalog, lint pass manager, the stale-marking oracle,
+ * the dataflow engine, the marking-precision analyses, and the SARIF
+ * renderer.
  */
 
 #ifndef HSCD_VERIFY_VERIFY_HH
 #define HSCD_VERIFY_VERIFY_HH
 
+#include "verify/catalog.hh"
+#include "verify/dataflow.hh"
 #include "verify/diagnostic.hh"
 #include "verify/oracle.hh"
 #include "verify/pass.hh"
+#include "verify/precision.hh"
+#include "verify/sarif.hh"
 
 #endif // HSCD_VERIFY_VERIFY_HH

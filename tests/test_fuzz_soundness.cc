@@ -24,11 +24,13 @@ namespace {
 constexpr std::uint64_t fuzzSeeds = 200;
 
 compiler::CompiledProgram
-compiled(std::uint64_t seed)
+compiled(std::uint64_t seed,
+         const compiler::AnalysisOptions &aopts = {})
 {
     testgen::GenOptions g;
     g.seed = seed;
-    return compiler::compileProgram(testgen::randomLegalProgram(g));
+    return compiler::compileProgram(testgen::randomLegalProgram(g),
+                                    aopts);
 }
 
 } // namespace
@@ -53,6 +55,55 @@ TEST(FuzzSoundness, LintAndOracleOverGeneratedCorpus)
     // The generator uses compile-time-opaque subscripts, so some reads
     // must widen: record that the conservative path is exercised.
     EXPECT_GT(inexact, 0u);
+}
+
+/**
+ * The static MARK001 analysis must never contradict the runtime
+ * checkers: over the same 200-seed corpus, compiled under a distance
+ * budget tight enough to force clamped (over-conservative) marks,
+ * every proven tighten rewrite is applied and the result must still
+ * show zero oracle under-markings — and, on a sampled subset, zero
+ * TPI runtime oracle / shadow-epoch / DOALL violations.
+ */
+TEST(FuzzSoundness, TightenNeverContradictsRuntimeOracle)
+{
+    compiler::AnalysisOptions aopts;
+    aopts.maxDistance = 1;  // clamp hard so MARK001 actually fires
+    const verify::LintOptions lopts;
+    std::uint64_t rewrites = 0;
+    for (std::uint64_t seed = 1; seed <= fuzzSeeds; ++seed) {
+        compiler::CompiledProgram cp = compiled(seed, aopts);
+        verify::OracleReport oracle = verify::oracleAnalyze(cp, lopts);
+        ASSERT_TRUE(oracle.underMarked.empty()) << "seed " << seed;
+        verify::PrecisionReport rep =
+            verify::precisionAnalyze(cp, lopts, oracle);
+        if (rep.overConservative.empty())
+            continue;
+        rewrites += rep.overConservative.size();
+        verify::tightenMarking(cp, rep);
+
+        verify::OracleReport after = verify::oracleAnalyze(cp, lopts);
+        EXPECT_TRUE(after.underMarked.empty())
+            << "seed " << seed << ": tighten under-marked ref "
+            << after.underMarked.front();
+        EXPECT_TRUE(verify::precisionAnalyze(cp, lopts, after)
+                        .overConservative.empty())
+            << "seed " << seed << ": tighten did not reach a fixpoint";
+
+        if (seed % 17 == 0) {
+            MachineConfig cfg;
+            cfg.scheme = SchemeKind::TPI;
+            cfg.procs = 8;
+            cfg.shadowEpochCheck = true;
+            sim::RunResult r = sim::simulate(cp, cfg);
+            EXPECT_EQ(r.oracleViolations, 0u) << "seed " << seed;
+            EXPECT_EQ(r.shadowViolations, 0u) << "seed " << seed;
+            EXPECT_EQ(r.doallViolations, 0u) << "seed " << seed;
+        }
+    }
+    // The budget clamp must have produced real rewrites, or the zero
+    // violation counts above prove nothing.
+    EXPECT_GT(rewrites, 0u);
 }
 
 TEST(FuzzSoundness, ShadowCleanUnderTpiAndSc)

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Unit tests for the marking-precision analyzer: the generic dataflow
+ * engine (both stock domains, both directions), each MARK diagnostic
+ * with a triggering and a non-triggering program, the GRAPH004
+ * write-write conflict lint, the proven-safe tighten rewrite
+ * round-trip, and the diagnostic-catalog/docs pinning.
+ *
+ * Every trigger test is paired with a near-miss that must stay silent:
+ * the precision passes feed `--tighten` and a `--werror` gate, so a
+ * false positive is as much a bug as a false negative.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compiler/analysis.hh"
+#include "hir/builder.hh"
+#include "sim/machine.hh"
+#include "verify/verify.hh"
+
+using namespace hscd;
+using compiler::EpochEdge;
+using compiler::unreachableDist;
+using hir::ProgramBuilder;
+using verify::FlowDir;
+using verify::FlowGraph;
+
+namespace {
+
+bool
+hasDiag(const verify::DiagnosticEngine &d, const std::string &id)
+{
+    for (const verify::Diagnostic &diag : d.diagnostics())
+        if (diag.id == id)
+            return true;
+    return false;
+}
+
+verify::DiagnosticEngine
+lintWith(ProgramBuilder &b, const compiler::AnalysisOptions &aopts = {},
+         const verify::LintOptions &lopts = {})
+{
+    compiler::CompiledProgram cp =
+        compiler::compileProgram(b.build(), aopts);
+    return verify::lintProgram(cp, "test", lopts);
+}
+
+FlowGraph
+chain(std::size_t n, std::uint32_t weight)
+{
+    std::vector<std::vector<EpochEdge>> adj(n);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        adj[i].push_back(
+            EpochEdge{static_cast<compiler::NodeId>(i + 1), weight});
+    return FlowGraph(std::move(adj));
+}
+
+/**
+ * write A | write B | write B | read A(reversed): every footprint is
+ * concretely enumerable, and the stale read's true boundary distance is
+ * 6 (the graph keeps an empty serial node between consecutive DOALLs,
+ * so each spacer epoch contributes two boundaries).
+ */
+hir::RefId
+staleAtThree(ProgramBuilder &b)
+{
+    hir::RefId stale = hir::invalidRef;
+    b.param("N", 16);
+    b.array("A", {"N"});
+    b.array("B", {"N"});
+    b.proc("MAIN", [&] {
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("A", {b.v("i")}); });
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("B", {b.v("i")}); });
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("B", {b.v("i")}); });
+        b.doall("i", b.c(0), b.p("N") - 1, [&] {
+            stale = b.read("A", {b.p("N") - 1 - b.v("i")});
+        });
+    });
+    return stale;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// The dataflow engine itself, on hand-built flow graphs.
+// --------------------------------------------------------------------
+
+TEST(Dataflow, MinDistanceAlongAChain)
+{
+    FlowGraph g = chain(4, 1);
+    std::vector<bool> gens{true, false, false, false};
+    auto res = solveDataflow(g, FlowDir::Forward,
+                             verify::MinDistanceDomain(gens));
+    EXPECT_EQ(res.in[0], unreachableDist) << "nothing reaches the entry";
+    EXPECT_EQ(res.out[0], 0u);
+    EXPECT_EQ(res.in[1], 1u);
+    EXPECT_EQ(res.in[2], 2u);
+    EXPECT_EQ(res.in[3], 3u);
+}
+
+TEST(Dataflow, MinDistanceTakesTheShortestPath)
+{
+    // Diamond 0->{1,2}->3 where the 0->2->3 route crosses one boundary
+    // and the 0->1->3 route crosses two: meet must pick 1.
+    std::vector<std::vector<EpochEdge>> adj(4);
+    adj[0] = {EpochEdge{1, 1}, EpochEdge{2, 0}};
+    adj[1] = {EpochEdge{3, 1}};
+    adj[2] = {EpochEdge{3, 1}};
+    FlowGraph g(std::move(adj));
+    std::vector<bool> gens{true, false, false, false};
+    auto res = solveDataflow(g, FlowDir::Forward,
+                             verify::MinDistanceDomain(gens));
+    EXPECT_EQ(res.in[3], 1u);
+}
+
+TEST(Dataflow, BackwardRunsOverReversedEdges)
+{
+    FlowGraph g = chain(3, 1);
+    std::vector<bool> gens{false, false, true};
+    auto res = solveDataflow(g, FlowDir::Backward,
+                             verify::MinDistanceDomain(gens));
+    // Backward indexing is semantic: in[] holds the value at node exit.
+    EXPECT_EQ(res.in[2], unreachableDist);
+    EXPECT_EQ(res.in[1], 1u);
+    EXPECT_EQ(res.in[0], 2u);
+}
+
+TEST(Dataflow, EpochFactsMeetIsIntersection)
+{
+    // Diamond with weight-0 edges: fact 0 is established on only one
+    // branch, fact 1 on both; must-availability keeps only fact 1.
+    std::vector<std::vector<EpochEdge>> adj(4);
+    adj[0] = {EpochEdge{1, 0}, EpochEdge{2, 0}};
+    adj[1] = {EpochEdge{3, 0}};
+    adj[2] = {EpochEdge{3, 0}};
+    FlowGraph g(std::move(adj));
+    verify::EpochFactsDomain dom(2, {{}, {0, 1}, {1}, {}});
+    auto res = solveDataflow(g, FlowDir::Forward, dom);
+    ASSERT_FALSE(res.in[3].universal);
+    EXPECT_FALSE(res.in[3].bits[0]);
+    EXPECT_TRUE(res.in[3].bits[1]);
+}
+
+TEST(Dataflow, EpochFactsDieAtBoundariesAndKills)
+{
+    // 0 -(boundary)-> 1 -> 2 where node 1 is also a kill site: the fact
+    // from node 0 must survive neither route into node 2.
+    FlowGraph g = chain(3, 0);
+    {
+        FlowGraph boundary = chain(2, 1);
+        verify::EpochFactsDomain dom(1, {{0}, {}});
+        auto res = solveDataflow(boundary, FlowDir::Forward, dom);
+        ASSERT_FALSE(res.in[1].universal);
+        EXPECT_FALSE(res.in[1].bits[0])
+            << "a weight>=1 edge must invalidate intra-epoch facts";
+    }
+    verify::EpochFactsDomain dom(1, {{0}, {}, {}},
+                                 {false, true, false});
+    auto res = solveDataflow(g, FlowDir::Forward, dom);
+    EXPECT_TRUE(res.in[1].bits[0]) << "fact reaches the kill node";
+    EXPECT_FALSE(res.in[2].bits[0]) << "the kill node must clear it";
+}
+
+// --------------------------------------------------------------------
+// MARK001: proven over-conservative marks and the tighten rewrite.
+// --------------------------------------------------------------------
+
+TEST(MarkLints, Mark001FiresWhenTheBudgetClampsADistance)
+{
+    // --max-distance=1 forces TimeRead(1) where the machine-window
+    // requirement is TimeRead(6): provably over-conservative.
+    ProgramBuilder b;
+    staleAtThree(b);
+    compiler::AnalysisOptions aopts;
+    aopts.maxDistance = 1;
+    verify::DiagnosticEngine d = lintWith(b, aopts);
+    EXPECT_TRUE(hasDiag(d, "MARK001")) << d.renderText();
+}
+
+TEST(MarkLints, Mark001SilentWhenTheMarkingIsMinimal)
+{
+    ProgramBuilder b;
+    staleAtThree(b);
+    verify::DiagnosticEngine d = lintWith(b);
+    EXPECT_FALSE(hasDiag(d, "MARK001")) << d.renderText();
+}
+
+TEST(MarkLints, TightenRewritesToTheOracleRequirementAndStaysSound)
+{
+    ProgramBuilder b;
+    const hir::RefId stale = staleAtThree(b);
+    compiler::AnalysisOptions aopts;
+    aopts.maxDistance = 1;
+    compiler::CompiledProgram cp =
+        compiler::compileProgram(b.build(), aopts);
+    ASSERT_EQ(cp.marking.mark(stale).kind, compiler::MarkKind::TimeRead);
+    ASSERT_EQ(cp.marking.mark(stale).distance, 1u);
+
+    const verify::LintOptions lopts;
+    verify::OracleReport oracle = verify::oracleAnalyze(cp, lopts);
+    verify::PrecisionReport rep =
+        verify::precisionAnalyze(cp, lopts, oracle);
+    ASSERT_FALSE(rep.overConservative.empty());
+    bool sawStale = false;
+    for (const verify::Tighten &t : rep.overConservative) {
+        if (t.ref != stale)
+            continue;
+        sawStale = true;
+        EXPECT_EQ(t.toKind, compiler::MarkKind::TimeRead);
+        EXPECT_EQ(t.toDistance, 6u);
+    }
+    EXPECT_TRUE(sawStale);
+
+    verify::tightenMarking(cp, rep);
+    EXPECT_EQ(cp.marking.mark(stale).distance, 6u);
+
+    // The rewritten program must re-lint clean of MARK001 and survive
+    // the runtime checkers: zero oracle, shadow, and DOALL violations.
+    verify::OracleReport after = verify::oracleAnalyze(cp, lopts);
+    EXPECT_TRUE(after.underMarked.empty());
+    EXPECT_TRUE(
+        verify::precisionAnalyze(cp, lopts, after).overConservative
+            .empty());
+
+    MachineConfig cfg;
+    cfg.scheme = SchemeKind::TPI;
+    cfg.shadowEpochCheck = true;
+    sim::RunResult r = sim::simulate(cp, cfg);
+    EXPECT_EQ(r.oracleViolations, 0u);
+    EXPECT_EQ(r.shadowViolations, 0u);
+    EXPECT_EQ(r.doallViolations, 0u);
+}
+
+// --------------------------------------------------------------------
+// MARK002: Time-Reads dominated by an earlier equivalent Time-Read.
+// --------------------------------------------------------------------
+
+TEST(MarkLints, Mark002FiresOnALockstepRepeatedTimeRead)
+{
+    ProgramBuilder b;
+    b.param("N", 16);
+    b.array("A", {"N"});
+    b.proc("MAIN", [&] {
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("A", {b.v("i")}); });
+        b.doall("i", b.c(0), b.p("N") - 1, [&] {
+            b.read("A", {b.p("N") - 1 - b.v("i")});
+            b.compute(4);
+            b.read("A", {b.p("N") - 1 - b.v("i")});
+        });
+    });
+    verify::DiagnosticEngine d = lintWith(b);
+    EXPECT_TRUE(hasDiag(d, "MARK002")) << d.renderText();
+}
+
+TEST(MarkLints, Mark002SilentWhenFootprintsDiffer)
+{
+    // A(i) vs A(N-1-i): the earlier read covers a different word per
+    // task, so no per-task containment proof exists.
+    ProgramBuilder b;
+    b.param("N", 16);
+    b.array("A", {"N"});
+    b.proc("MAIN", [&] {
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("A", {b.v("i")}); });
+        b.doall("i", b.c(0), b.p("N") - 1, [&] {
+            b.read("A", {b.v("i")});
+            b.read("A", {b.p("N") - 1 - b.v("i")});
+        });
+    });
+    verify::DiagnosticEngine d = lintWith(b);
+    EXPECT_FALSE(hasDiag(d, "MARK002")) << d.renderText();
+}
+
+TEST(MarkLints, Mark002SilentAcrossEpochBoundaries)
+{
+    // The identical read repeats in the NEXT epoch: the availability
+    // fact dies at the boundary (a mid-epoch tag reset or conflicting
+    // write may intervene), so no domination claim is sound.
+    ProgramBuilder b;
+    b.param("N", 16);
+    b.array("A", {"N"});
+    b.proc("MAIN", [&] {
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("A", {b.v("i")}); });
+        b.doall("i", b.c(0), b.p("N") - 1, [&] {
+            b.read("A", {b.p("N") - 1 - b.v("i")});
+        });
+        b.doall("i", b.c(0), b.p("N") - 1, [&] {
+            b.read("A", {b.p("N") - 1 - b.v("i")});
+        });
+    });
+    verify::DiagnosticEngine d = lintWith(b);
+    EXPECT_FALSE(hasDiag(d, "MARK002")) << d.renderText();
+}
+
+// --------------------------------------------------------------------
+// MARK003: timetag-window saturation.
+// --------------------------------------------------------------------
+
+namespace {
+
+/** write A, then @p spacers B-epochs, then read A: distance spacers+1. */
+void
+spacedReadback(ProgramBuilder &b, int spacers)
+{
+    b.param("N", 8);
+    b.array("A", {"N"});
+    b.array("B", {"N"});
+    b.proc("MAIN", [&] {
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("A", {b.v("i")}); });
+        for (int s = 0; s < spacers; ++s)
+            b.doall("i", b.c(0), b.p("N") - 1,
+                    [&] { b.write("B", {b.v("i")}); });
+        b.doall("i", b.c(0), b.p("N") - 1, [&] {
+            b.read("A", {b.p("N") - 1 - b.v("i")});
+        });
+    });
+}
+
+} // namespace
+
+TEST(MarkLints, Mark003FiresWhenTheProvenDistanceExceedsTheWindow)
+{
+    // 2-bit tags: window 3, true distance 6. The compiler saturates the
+    // mark to 3 and the dataflow lower bound proves every such
+    // Time-Read misses CONSERVATIVE.
+    ProgramBuilder b;
+    spacedReadback(b, 5);
+    compiler::AnalysisOptions aopts;
+    aopts.timetagBits = 2;
+    verify::LintOptions lopts;
+    lopts.timetagBits = 2;
+    verify::DiagnosticEngine d = lintWith(b, aopts, lopts);
+    EXPECT_TRUE(hasDiag(d, "MARK003")) << d.renderText();
+}
+
+TEST(MarkLints, Mark003SilentWhenTheWindowCovers)
+{
+    ProgramBuilder b;
+    spacedReadback(b, 5);
+    verify::DiagnosticEngine d = lintWith(b);
+    EXPECT_FALSE(hasDiag(d, "MARK003")) << d.renderText();
+}
+
+// --------------------------------------------------------------------
+// GRAPH004: proven same-epoch write-write conflicts.
+// --------------------------------------------------------------------
+
+TEST(MarkLints, Graph004FiresWhenEveryTaskWritesOneWord)
+{
+    ProgramBuilder b;
+    b.param("N", 8);
+    b.array("A", {"N"});
+    b.proc("MAIN", [&] {
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("A", {b.c(0)}); });
+    });
+    verify::DiagnosticEngine d = lintWith(b);
+    EXPECT_TRUE(hasDiag(d, "GRAPH004")) << d.renderText();
+}
+
+TEST(MarkLints, Graph004SilentOnDisjointOrLockedWrites)
+{
+    {
+        ProgramBuilder b;
+        b.param("N", 8);
+        b.array("A", {"N"});
+        b.proc("MAIN", [&] {
+            b.doall("i", b.c(0), b.p("N") - 1,
+                    [&] { b.write("A", {b.v("i")}); });
+        });
+        verify::DiagnosticEngine d = lintWith(b);
+        EXPECT_FALSE(hasDiag(d, "GRAPH004")) << d.renderText();
+    }
+    {
+        // Same shared word, but lock-protected: mutual exclusion makes
+        // the outcome schedule-independent at word granularity.
+        ProgramBuilder b;
+        b.param("N", 8);
+        b.array("A", {"N"});
+        b.proc("MAIN", [&] {
+            b.doall("i", b.c(0), b.p("N") - 1, [&] {
+                b.critical([&] { b.write("A", {b.c(0)}); });
+            });
+        });
+        verify::DiagnosticEngine d = lintWith(b);
+        EXPECT_FALSE(hasDiag(d, "GRAPH004")) << d.renderText();
+    }
+}
+
+// --------------------------------------------------------------------
+// Catalog integrity and the generated docs file.
+// --------------------------------------------------------------------
+
+TEST(Catalog, MarkFamilyIsCatalogedUnderThePrecisionPass)
+{
+    for (const char *id : {"MARK001", "MARK002", "MARK003"}) {
+        const verify::CatalogEntry *e = verify::catalogLookup(id);
+        ASSERT_NE(e, nullptr) << id;
+        EXPECT_STREQ(e->pass, "marking-precision") << id;
+        EXPECT_EQ(e->severity, verify::Severity::Note) << id;
+    }
+    const verify::CatalogEntry *g4 = verify::catalogLookup("GRAPH004");
+    ASSERT_NE(g4, nullptr);
+    EXPECT_EQ(g4->severity, verify::Severity::Warning);
+}
+
+TEST(Catalog, DocsFileMatchesGeneratedMarkdown)
+{
+    const std::string path =
+        std::string(HSCD_SOURCE_DIR) + "/docs/DIAGNOSTICS.md";
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << "missing " << path;
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    EXPECT_EQ(text, verify::catalogMarkdown())
+        << "docs/DIAGNOSTICS.md is stale; regenerate with "
+           "`hscd_lint --catalog > docs/DIAGNOSTICS.md`";
+}

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * SARIF renderer tests: structural 2.1.0 conformance of real lint
+ * output, the stable rule table, the byte-identical-at-any-jobs
+ * determinism contract, and a full-document golden snapshot over a
+ * fixed diagnostic set. An intentional format change regenerates the
+ * snapshot with
+ *
+ *   HSCD_PRINT_GOLDEN=1 ./tests/hscd_tests --gtest_filter=Sarif.Golden*
+ *
+ * and pastes the document emitted between the GOLDEN-BEGIN/END markers
+ * below (the docs example and the schema version are contractual:
+ * downstream SARIF viewers key on them).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "compiler/analysis.hh"
+#include "hir/builder.hh"
+#include "verify/verify.hh"
+
+using namespace hscd;
+using hir::ProgramBuilder;
+
+namespace {
+
+obs::Provenance
+fixedProvenance()
+{
+    obs::Provenance prov;
+    prov.schema = "hscd-lint";
+    prov.version = 1;
+    prov.tool = "hscd_lint";
+    prov.configHash = 0x1234;
+    prov.faultSpec = "off";
+    prov.jobs = 8;  // must NOT appear in the output
+    return prov;
+}
+
+/** A program that fires MARK001 (maxDistance=1 clamps a distance-3 read). */
+verify::DiagnosticEngine
+lintClampedKernel(const std::string &name)
+{
+    ProgramBuilder b;
+    b.param("N", 16);
+    b.array("A", {"N"});
+    b.array("B", {"N"});
+    b.proc("MAIN", [&] {
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("A", {b.v("i")}); });
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("B", {b.v("i")}); });
+        b.doall("i", b.c(0), b.p("N") - 1,
+                [&] { b.write("B", {b.v("i")}); });
+        b.doall("i", b.c(0), b.p("N") - 1, [&] {
+            b.read("A", {b.p("N") - 1 - b.v("i")});
+        });
+    });
+    compiler::AnalysisOptions aopts;
+    aopts.maxDistance = 1;
+    compiler::CompiledProgram cp =
+        compiler::compileProgram(b.build(), aopts);
+    return verify::lintProgram(cp, name);
+}
+
+} // namespace
+
+TEST(Sarif, StructuralConformanceOnRealLintOutput)
+{
+    std::vector<verify::DiagnosticEngine> engines;
+    engines.push_back(lintClampedKernel("kernel"));
+    ASSERT_GT(engines[0].diagnostics().size(), 0u);
+    const std::string doc = verify::renderSarif(engines,
+                                                fixedProvenance());
+
+    // Top-level 2.1.0 shape.
+    EXPECT_NE(doc.find("\"$schema\": "
+                       "\"https://json.schemastore.org/sarif-2.1.0.json\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(doc.find("\"columnKind\": \"utf16CodeUnits\""),
+              std::string::npos);
+
+    // The driver carries the FULL catalog as its rule table, fired or
+    // not, so ruleIndex stays stable across runs.
+    std::size_t nrules = 0;
+    const verify::CatalogEntry *cat = verify::diagnosticCatalog(nrules);
+    for (std::size_t i = 0; i < nrules; ++i)
+        EXPECT_NE(doc.find("\"id\": \"" + std::string(cat[i].id) + "\""),
+                  std::string::npos)
+            << cat[i].id;
+
+    // Every result's ruleIndex is its catalog index.
+    for (const verify::Diagnostic &diag : engines[0].diagnostics()) {
+        const std::string pair =
+            "\"ruleId\": \"" + diag.id + "\",\n          \"ruleIndex\": " +
+            std::to_string(verify::catalogIndex(diag.id)) + ",";
+        EXPECT_NE(doc.find(pair), std::string::npos) << pair;
+    }
+
+    // Logical locations (the HIR has no files) and the provenance
+    // properties, minus the jobs field.
+    EXPECT_NE(doc.find("\"logicalLocations\""), std::string::npos);
+    EXPECT_NE(doc.find("\"fullyQualifiedName\": \"kernel::MAIN"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"schema\": \"hscd-lint/1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"configHash\": \"0000000000001234\""),
+              std::string::npos);
+    EXPECT_EQ(doc.find("jobs"), std::string::npos)
+        << "jobs may vary between runs and must stay out of SARIF";
+}
+
+TEST(Sarif, ByteIdenticalAtAnyJobsValue)
+{
+    const char *names[] = {"alpha", "beta", "gamma"};
+    auto render = [&](unsigned jobs) {
+        std::vector<verify::DiagnosticEngine> engines = parallelMap(
+            jobs, 3,
+            [&](std::size_t i) { return lintClampedKernel(names[i]); });
+        return verify::renderSarif(engines, fixedProvenance());
+    };
+    const std::string serial = render(1);
+    EXPECT_EQ(serial, render(4));
+    EXPECT_NE(serial.find("\"alpha\""), std::string::npos);
+    EXPECT_LT(serial.find("\"alpha\""), serial.find("\"gamma\""))
+        << "results must keep input order, not completion order";
+}
+
+// --------------------------------------------------------------------
+// Full-document golden snapshot over a fixed diagnostic set.
+// --------------------------------------------------------------------
+
+namespace {
+
+// Regenerate with HSCD_PRINT_GOLDEN=1 (see file comment).
+const char *kGoldenSarif = R"gold({
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "hscd_lint",
+          "informationUri": "https://example.invalid/hscd",
+          "rules": [
+            {
+              "id": "HIR001",
+              "name": "undefined-variable",
+              "shortDescription": {"text": "an expression uses a variable with no enclosing loop or parameter binding"},
+              "defaultConfiguration": {"level": "error"}
+            },
+            {
+              "id": "HIR002",
+              "name": "shadowed-variable",
+              "shortDescription": {"text": "a loop index rebinds a live binding (outer loop index or program parameter)"},
+              "defaultConfiguration": {"level": "warning"}
+            },
+            {
+              "id": "HIR003",
+              "name": "subscript-out-of-bounds",
+              "shortDescription": {"text": "a subscript is provably outside [0, extent) for every dynamic instance"},
+              "defaultConfiguration": {"level": "error"}
+            },
+            {
+              "id": "HIR004",
+              "name": "empty-doall",
+              "shortDescription": {"text": "a DOALL's bounds are provably empty; it still costs two epoch boundaries"},
+              "defaultConfiguration": {"level": "warning"}
+            },
+            {
+              "id": "HIR005",
+              "name": "single-trip-doall",
+              "shortDescription": {"text": "a DOALL provably runs exactly one iteration (serial in effect)"},
+              "defaultConfiguration": {"level": "note"}
+            },
+            {
+              "id": "HIR006",
+              "name": "wait-without-post",
+              "shortDescription": {"text": "a wait on a provably-constant flag that no post can ever match (guaranteed deadlock)"},
+              "defaultConfiguration": {"level": "error"}
+            },
+            {
+              "id": "HIR007",
+              "name": "post-without-wait",
+              "shortDescription": {"text": "a post on a constant flag that no wait ever consumes (dead synchronization)"},
+              "defaultConfiguration": {"level": "note"}
+            },
+            {
+              "id": "GRAPH001",
+              "name": "unreachable-epoch",
+              "shortDescription": {"text": "an epoch node with no path from the program entry; its references are dead and its marks meaningless"},
+              "defaultConfiguration": {"level": "warning"}
+            },
+            {
+              "id": "GRAPH002",
+              "name": "distance-exceeds-timetag",
+              "shortDescription": {"text": "a Time-Read distance operand larger than the configured timetag width can represent; the compiler must saturate, not rely on hardware clamping"},
+              "defaultConfiguration": {"level": "error"}
+            },
+            {
+              "id": "GRAPH003",
+              "name": "bypass-on-unprotected",
+              "shortDescription": {"text": "a Bypass mark on a read that neither a critical section nor post/wait synchronization justifies"},
+              "defaultConfiguration": {"level": "error"}
+            },
+            {
+              "id": "GRAPH004",
+              "name": "write-write-conflict",
+              "shortDescription": {"text": "two DOALL tasks provably write the same word in one epoch instance with no lock or post/wait ordering (nondeterministic final value)"},
+              "defaultConfiguration": {"level": "warning"}
+            },
+            {
+              "id": "ORACLE001",
+              "name": "under-marked-read",
+              "shortDescription": {"text": "the compiler's mark is weaker than the word-exact oracle requires: a stale hit is reachable (soundness bug)"},
+              "defaultConfiguration": {"level": "error"}
+            },
+            {
+              "id": "ORACLE002",
+              "name": "over-marked-reads",
+              "shortDescription": {"text": "summary note: reads marked more conservatively than the word-exact oracle requires (precision loss, not unsoundness)"},
+              "defaultConfiguration": {"level": "note"}
+            },
+            {
+              "id": "MARK001",
+              "name": "proven-over-conservative",
+              "shortDescription": {"text": "a Time-Read (or Bypass) whose proven-minimal sound mark is strictly weaker: the exact minimal epoch distance is larger than marked, or the read is provably never stale; `--tighten` rewrites these"},
+              "defaultConfiguration": {"level": "note"}
+            },
+            {
+              "id": "MARK002",
+              "name": "redundant-marking",
+              "shortDescription": {"text": "a Time-Read dominated by an earlier Time-Read of a containing section in the same epoch at an equal-or-stricter distance: it can never refetch on TPI (modulo tag resets) yet costs a refetch on SC"},
+              "defaultConfiguration": {"level": "note"}
+            },
+            {
+              "id": "MARK003",
+              "name": "distance-saturation",
+              "shortDescription": {"text": "the true minimal epoch distance exceeds the 2^timetagBits - 1 window, so the saturated operand will refetch fresh data whenever the tag ages out (the static predictor of CONSERVATIVE misses)"},
+              "defaultConfiguration": {"level": "note"}
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "GRAPH004",
+          "ruleIndex": 10,
+          "level": "warning",
+          "message": {"text": "DOALL tasks 0 and 1 both write word 0 of A"},
+          "locations": [
+            {
+              "logicalLocations": [
+                {
+                  "name": "A(0)",
+                  "fullyQualifiedName": "kernel::MAIN::A(0)",
+                  "kind": "member"
+                }
+              ]
+            }
+          ],
+          "properties": {
+            "program": "kernel",
+            "refId": 7,
+            "severity": "warning"
+          }
+        },
+        {
+          "ruleId": "MARK002",
+          "ruleIndex": 14,
+          "level": "note",
+          "message": {"text": "Time-Read dominated by an earlier identical Time-Read"},
+          "locations": [
+            {
+              "logicalLocations": [
+                {
+                  "name": "A(i)",
+                  "fullyQualifiedName": "kernel::MAIN::A(i)",
+                  "kind": "member"
+                }
+              ]
+            }
+          ],
+          "properties": {
+            "program": "kernel",
+            "refId": 3,
+            "severity": "note"
+          }
+        }
+      ],
+      "columnKind": "utf16CodeUnits",
+      "properties": {
+        "schema": "hscd-lint/1",
+        "tool": "hscd_lint",
+        "configHash": "0000000000001234",
+        "fault": "off"
+      }
+    }
+  ]
+}
+)gold";
+
+} // namespace
+
+TEST(Sarif, GoldenSnapshot)
+{
+    verify::DiagnosticEngine d("kernel");
+    d.report("GRAPH004", verify::Severity::Warning,
+             verify::SourceLoc{"MAIN", 7, "A(0)"},
+             "DOALL tasks 0 and 1 both write word 0 of A");
+    d.report("MARK002", verify::Severity::Note,
+             verify::SourceLoc{"MAIN", 3, "A(i)"},
+             "Time-Read dominated by an earlier identical Time-Read");
+    std::vector<verify::DiagnosticEngine> engines;
+    engines.push_back(std::move(d));
+    const std::string doc = verify::renderSarif(engines,
+                                                fixedProvenance());
+
+    if (std::getenv("HSCD_PRINT_GOLDEN")) {
+        std::fprintf(stderr, "GOLDEN-BEGIN\n%sGOLDEN-END\n",
+                     doc.c_str());
+        return;
+    }
+    EXPECT_EQ(doc, kGoldenSarif)
+        << "SARIF format changed; regenerate the snapshot "
+           "(HSCD_PRINT_GOLDEN=1, see file comment)";
+}
