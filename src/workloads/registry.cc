@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/strutil.hh"
+#include "workloads/synth.hh"
 
 namespace hscd {
 namespace workloads {
@@ -30,8 +31,10 @@ buildBenchmark(const std::string &name, int scale)
         return buildSpec77(scale);
     if (n == "trfd")
         return buildTrfd(scale);
+    if (isSynthSpec(n))
+        return buildSynth(parseSynthSpec(n), scale);
     fatal("unknown benchmark '%s' (expected one of adm, flo52, ocean, "
-          "qcd2, spec77, trfd)", name);
+          "qcd2, spec77, trfd, or synth:<family>:<seed>)", name);
 }
 
 } // namespace workloads

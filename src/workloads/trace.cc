@@ -1,0 +1,266 @@
+/** @file External memory-trace parsing and replay. */
+
+#include "workloads/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "hir/program.hh"
+
+namespace hscd {
+namespace workloads {
+
+namespace {
+
+// Strictness bounds: a trace asking for more than these is almost
+// certainly corrupt, and refusing beats allocating gigabytes.
+constexpr unsigned kMaxProcs = 1024;
+constexpr Addr kMaxAddr = Addr{1} << 26;       // 64 MiB footprint
+constexpr EpochId kMaxEpoch = EpochId{1} << 20;
+
+/** Strict non-negative decimal; false on junk/overflow. */
+bool
+parseUint(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : tok) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        if (v > (std::uint64_t{1} << 40))
+            return false;
+    }
+    out = v;
+    return true;
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (c == ' ' || c == '\t' || c == '\r') {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+    return toks;
+}
+
+[[noreturn]] void
+traceError(const std::string &name, std::size_t lineno,
+           const std::string &what)
+{
+    fatal("trace %s:%d: %s", name, static_cast<std::uint64_t>(lineno),
+          what);
+}
+
+} // namespace
+
+bool
+isTraceSpec(const std::string &spec)
+{
+    const std::string s = toLower(trim(spec));
+    return s.rfind("trace:", 0) == 0;
+}
+
+std::string
+traceSpecPath(const std::string &spec)
+{
+    const std::string s = trim(spec);
+    if (toLower(s).rfind("trace:", 0) != 0)
+        fatal("not a trace spec: '%s' (expected trace:<file>)", spec);
+    const std::string path = s.substr(6);
+    if (path.empty())
+        fatal("bad trace spec '%s': missing file path", spec);
+    return path;
+}
+
+TraceWorkload
+parseTraceText(const std::string &text, const std::string &name)
+{
+    TraceWorkload out;
+    out.source = name;
+
+    bool procsDeclared = false;
+    unsigned declaredProcs = 0;
+    unsigned maxProc = 0;
+    Addr maxAddr = 0;
+    EpochId epoch = 0;
+    mem::ValueStamp stamp = 0;
+
+    std::size_t lineno = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        if (pos == text.size() && lineno > 0)
+            break;
+        const std::size_t nl = text.find('\n', pos);
+        const bool terminated = nl != std::string::npos;
+        const std::string line =
+            text.substr(pos, terminated ? nl - pos : std::string::npos);
+        pos = terminated ? nl + 1 : text.size() + 1;
+        ++lineno;
+
+        const std::vector<std::string> toks = tokenize(line);
+        if (toks.empty())
+            continue;
+        // An unterminated final line may be a torn tail from a killed
+        // writer; accept it only if it parses as a complete record.
+        const char *torn =
+            terminated ? "" : " (torn final line: no trailing newline)";
+
+        if (toks[0] == "procs") {
+            if (!out.records.empty() || out.reads + out.writes > 0)
+                traceError(name, lineno,
+                           "'procs' directive must precede all accesses");
+            if (procsDeclared)
+                traceError(name, lineno, "duplicate 'procs' directive");
+            std::uint64_t p = 0;
+            if (toks.size() != 2 || !parseUint(toks[1], p) || p == 0)
+                traceError(name, lineno,
+                           csprintf("malformed 'procs' directive '%s'%s",
+                                    trim(line), torn));
+            if (p > kMaxProcs)
+                traceError(name, lineno,
+                           csprintf("procs %d out of range (max %d)", p,
+                                    kMaxProcs));
+            procsDeclared = true;
+            declaredProcs = static_cast<unsigned>(p);
+            continue;
+        }
+
+        std::uint64_t proc = 0, addr = 0, ep = 0;
+        const bool shapeOk = toks.size() == 3 || toks.size() == 4;
+        if (!shapeOk || !parseUint(toks[0], proc) ||
+            !parseUint(toks[1], addr) ||
+            (toks[2] != "r" && toks[2] != "w" && toks[2] != "R" &&
+             toks[2] != "W") ||
+            (toks.size() == 4 && !parseUint(toks[3], ep))) {
+            traceError(name, lineno,
+                       csprintf("malformed access record '%s'%s "
+                                "(expected <proc> <addr> <r|w> [<epoch>])",
+                                trim(line), torn));
+        }
+        if (procsDeclared ? proc >= declaredProcs : proc >= kMaxProcs)
+            traceError(name, lineno,
+                       csprintf("processor id %d out of range (%s)", proc,
+                                procsDeclared
+                                    ? csprintf("declared procs %d",
+                                               declaredProcs)
+                                    : csprintf("max %d", kMaxProcs)));
+        if (addr % hir::wordBytes != 0)
+            traceError(name, lineno,
+                       csprintf("address %d is not word-aligned (%d bytes)",
+                                addr, hir::wordBytes));
+        if (addr >= kMaxAddr)
+            traceError(name, lineno,
+                       csprintf("address %d out of range (max %d)", addr,
+                                kMaxAddr - 1));
+        if (toks.size() == 4) {
+            if (ep < epoch)
+                traceError(name, lineno,
+                           csprintf("non-monotone epoch %d (current %d)",
+                                    ep, epoch));
+            if (ep > kMaxEpoch)
+                traceError(name, lineno,
+                           csprintf("epoch %d out of range (max %d)", ep,
+                                    kMaxEpoch));
+            while (epoch < ep) {
+                ++epoch;
+                sim::TraceRecord b;
+                b.type = sim::TraceRecord::Type::Boundary;
+                b.epoch = epoch;
+                out.records.push_back(b);
+            }
+        }
+
+        sim::TraceRecord r;
+        r.type = sim::TraceRecord::Type::Access;
+        r.op.proc = static_cast<ProcId>(proc);
+        r.op.addr = static_cast<Addr>(addr);
+        r.op.write = toks[2] == "w" || toks[2] == "W";
+        r.op.arrayId = 0;
+        // Conservative stub: no dependence info, so hardware may only
+        // vouch for words written in the current epoch.
+        r.op.mark = r.op.write ? compiler::MarkKind::Normal
+                               : compiler::MarkKind::TimeRead;
+        r.op.distance = 0;
+        r.op.stamp = r.op.write ? ++stamp : 0;
+        r.op.critical = false;
+        out.records.push_back(r);
+
+        maxProc = std::max(maxProc, static_cast<unsigned>(proc));
+        maxAddr = std::max(maxAddr, static_cast<Addr>(addr));
+        if (r.op.write)
+            ++out.writes;
+        else
+            ++out.reads;
+    }
+
+    if (out.reads + out.writes == 0)
+        traceError(name, lineno ? lineno : 1, "trace contains no accesses");
+
+    out.procs = procsDeclared ? declaredProcs : maxProc + 1;
+    out.dataBytes = ((maxAddr + hir::wordBytes + 63) / 64) * 64;
+    out.epochs = epoch + 1;
+    return out;
+}
+
+TraceWorkload
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open trace file '%s'", path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return parseTraceText(ss.str(), path);
+}
+
+TraceWorkload
+loadTraceSpec(const std::string &spec)
+{
+    return loadTraceFile(traceSpecPath(spec));
+}
+
+sim::RunResult
+runTrace(const TraceWorkload &t, const MachineConfig &cfg_in,
+         sim::TraceSink *sink)
+{
+    MachineConfig cfg = cfg_in;
+    if (cfg.procs < t.procs)
+        cfg.procs = t.procs;
+    sim::ReplayResult rr =
+        sim::replayTrace(t.records, cfg, t.dataBytes, sink);
+
+    sim::RunResult out;
+    out.cycles = rr.cycles;
+    out.epochs = t.epochs;
+    out.reads = rr.reads;
+    out.writes = rr.writes;
+    out.readMisses = rr.readMisses;
+    out.readHits = rr.reads - rr.readMisses;
+    out.readMissRate = rr.readMissRate;
+    out.missConservative = rr.missConservative;
+    out.missFalseShare = rr.missFalseShare;
+    out.trafficWords = rr.trafficWords;
+    out.abort = rr.abort;
+    return out;
+}
+
+} // namespace workloads
+} // namespace hscd

@@ -46,7 +46,11 @@ namespace workloads {
 /** The six Perfect-Club-like benchmarks, in the paper's order. */
 std::vector<std::string> benchmarkNames();
 
-/** Build one of the six by name (case-insensitive); fatal on typo. */
+/**
+ * Build one of the six by name (case-insensitive), or a seeded
+ * synthetic workload via a `synth:<family>:<seed>` spec (see
+ * workloads/synth.hh); fatal on typo.
+ */
 hir::Program buildBenchmark(const std::string &name, int scale = 2);
 
 hir::Program buildSpec77(int scale = 2);

@@ -107,6 +107,23 @@ randomLegalProgram(const GenOptions &opt)
                     b.write("ACC", {b.c(slot)});
                 });
             }
+            // Alternate-policy branch inside the DOALL body: legal (both
+            // arms read-only on data this epoch) but stream-ineligible,
+            // so the corpus exercises the fast path's refusal shapes too
+            // (FastpathEquiv.GeneratedAlternateInDoallFallsBack).
+            if (opt.useIf && rng.chance(0.12)) {
+                unsigned a = rng.below(opt.dataArrays);
+                // Reading the written array is only legal at the task's
+                // own (covered) word; any shape goes for the others.
+                hir::IntExpr sub =
+                    a == w ? (split ? i * 2 : i + off) : i;
+                b.ifUnknown(TakePolicy::Alternate,
+                            [&] {
+                                b.read(arrays[a], {sub});
+                                b.compute(2);
+                            },
+                            [&] { b.compute(1); });
+            }
         });
     };
 

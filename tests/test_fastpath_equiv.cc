@@ -198,6 +198,34 @@ TEST(FastpathEquiv, AlternateInDoallFallsBack)
 }
 
 /**
+ * The generator now emits Alternate-policy branches inside DOALL bodies
+ * too (tests/program_gen.hh): the corpus must actually contain such
+ * programs, and on every one the fast path must refuse (fall back to
+ * the interpreter, still byte-identical) rather than miscompile. Block
+ * scheduling with a non-Dynamic policy is otherwise always eligible,
+ * so ineligibility here isolates exactly the Alternate-in-DOALL shape.
+ */
+TEST(FastpathEquiv, GeneratedAlternateInDoallFallsBack)
+{
+    unsigned fallbacks = 0;
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        testgen::GenOptions opt;
+        opt.seed = seed;
+        compiler::CompiledProgram cp =
+            compiler::compileProgram(testgen::randomLegalProgram(opt));
+        MachineConfig cfg = baseCfg(SchemeKind::TPI);
+        if (streamEligible(cp, cfg))
+            continue;
+        ++fallbacks;
+        EXPECT_EQ(epochStream(cp, cfg), nullptr) << "gen:" << seed;
+        for (SchemeKind k : kAllSchemes)
+            EXPECT_TRUE(pathsAgree(cp, baseCfg(k))) << "gen:" << seed;
+    }
+    // The fallback shape must be exercised, or this test is vacuous.
+    EXPECT_GT(fallbacks, 0u);
+}
+
+/**
  * The stream cache lives on the shared CompiledProgram; concurrent
  * simulations under different configs must build/reuse slots without
  * races (also runs under TSan via the tsan ctest label).

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Trace-ingestion frontend tests: the strict parser (every malformed
+ * input is a structured FatalError with file:line context - never a
+ * crash, never a silent skip), the conservative marking stub, and
+ * deterministic replay of the checked-in sample trace across all five
+ * schemes at any thread count.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/parallel.hh"
+#include "sim/machine.hh"
+#include "sim/result.hh"
+#include "workloads/trace.hh"
+
+using namespace hscd;
+using namespace hscd::workloads;
+
+namespace {
+
+const SchemeKind kAllSchemes[] = {SchemeKind::Base, SchemeKind::SC,
+                                  SchemeKind::TPI, SchemeKind::HW,
+                                  SchemeKind::VC};
+
+/**
+ * Assert that parsing @p text raises FatalError whose message contains
+ * @p needle. The message must also carry the trace name and a line
+ * number so users can find the bad record.
+ */
+void
+expectTraceError(const std::string &text, const std::string &needle)
+{
+    try {
+        parseTraceText(text, "t.trace");
+        FAIL() << "expected FatalError containing '" << needle
+               << "' for input:\n" << text;
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find(needle), std::string::npos)
+            << "message '" << msg << "' lacks '" << needle << "'";
+        EXPECT_NE(msg.find("t.trace:"), std::string::npos)
+            << "message '" << msg << "' lacks file:line context";
+    }
+}
+
+std::string
+samplePath()
+{
+    return std::string(HSCD_SOURCE_DIR) + "/tests/data/sample.trace";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Spec parsing.
+
+TEST(TraceSpec, Recognizer)
+{
+    EXPECT_TRUE(isTraceSpec("trace:foo.trace"));
+    EXPECT_TRUE(isTraceSpec("  TRACE:foo.trace  "));
+    EXPECT_FALSE(isTraceSpec("gen:1"));
+    EXPECT_FALSE(isTraceSpec("synth:streaming:1"));
+    EXPECT_FALSE(isTraceSpec("ocean"));
+    EXPECT_EQ(traceSpecPath("trace:/a/b.trace"), "/a/b.trace");
+}
+
+TEST(TraceSpec, EmptyPathFatal)
+{
+    EXPECT_THROW(traceSpecPath("trace:"), FatalError);
+    EXPECT_THROW(traceSpecPath("ocean"), FatalError);
+}
+
+TEST(TraceSpec, MissingFileFatal)
+{
+    EXPECT_THROW(loadTraceSpec("trace:/nonexistent/x.trace"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Positive parsing.
+
+TEST(TraceParse, MinimalRoundTrip)
+{
+    TraceWorkload t = parseTraceText("procs 2\n0 0 w 0\n1 0 r 1\n", "m");
+    EXPECT_EQ(t.procs, 2u);
+    EXPECT_EQ(t.reads, 1u);
+    EXPECT_EQ(t.writes, 1u);
+    EXPECT_EQ(t.epochs, 2u);
+    // write, boundary, read.
+    ASSERT_EQ(t.records.size(), 3u);
+    EXPECT_EQ(t.records[0].type, sim::TraceRecord::Type::Access);
+    EXPECT_TRUE(t.records[0].op.write);
+    EXPECT_EQ(t.records[1].type, sim::TraceRecord::Type::Boundary);
+    EXPECT_EQ(t.records[1].epoch, 1u);
+    EXPECT_FALSE(t.records[2].op.write);
+    // Conservative stub: reads are Time-Reads of distance 0.
+    EXPECT_EQ(t.records[2].op.mark, compiler::MarkKind::TimeRead);
+    EXPECT_EQ(t.records[2].op.distance, 0u);
+    EXPECT_EQ(t.records[0].op.mark, compiler::MarkKind::Normal);
+}
+
+TEST(TraceParse, ProcsInferredFromMaxId)
+{
+    TraceWorkload t = parseTraceText("0 0 w\n5 4 r\n", "m");
+    EXPECT_EQ(t.procs, 6u);
+    EXPECT_EQ(t.epochs, 1u);
+}
+
+TEST(TraceParse, EpochGapEmitsEveryBoundary)
+{
+    TraceWorkload t = parseTraceText("0 0 w 0\n0 0 r 3\n", "m");
+    // write, boundary(1), boundary(2), boundary(3), read.
+    ASSERT_EQ(t.records.size(), 5u);
+    EXPECT_EQ(t.records[1].epoch, 1u);
+    EXPECT_EQ(t.records[2].epoch, 2u);
+    EXPECT_EQ(t.records[3].epoch, 3u);
+    EXPECT_EQ(t.epochs, 4u);
+}
+
+TEST(TraceParse, CommentsBlanksCrlfAndCaseAccepted)
+{
+    TraceWorkload t = parseTraceText(
+        "# header\n\n  \t \nprocs 2\r\n0 0 W 0   # trailing\n1 4 R 0\r\n",
+        "m");
+    EXPECT_EQ(t.procs, 2u);
+    EXPECT_EQ(t.reads, 1u);
+    EXPECT_EQ(t.writes, 1u);
+}
+
+TEST(TraceParse, CompleteUnterminatedFinalLineAccepted)
+{
+    // No trailing newline, but the record is complete: accepted.
+    TraceWorkload t = parseTraceText("0 0 w 0\n1 4 r 0", "m");
+    EXPECT_EQ(t.reads, 1u);
+    EXPECT_EQ(t.writes, 1u);
+}
+
+TEST(TraceParse, WriteStampsAreUniqueAndOrdered)
+{
+    TraceWorkload t = parseTraceText("0 0 w\n0 4 w\n0 0 r\n", "m");
+    ASSERT_EQ(t.records.size(), 3u);
+    EXPECT_EQ(t.records[0].op.stamp, 1u);
+    EXPECT_EQ(t.records[1].op.stamp, 2u);
+    EXPECT_EQ(t.records[2].op.stamp, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Negative parsing: every class of malformed input is a structured
+// error (FatalError -> CLI exit 2), never a crash or a silent skip.
+
+TEST(TraceParseError, MalformedLines)
+{
+    expectTraceError("bogus\n", "malformed access record");
+    expectTraceError("0 0\n", "malformed access record");
+    expectTraceError("0 0 x\n", "malformed access record");
+    expectTraceError("0 0 w 1 extra\n", "malformed access record");
+    expectTraceError("-1 0 w\n", "malformed access record");
+    expectTraceError("0 0x10 w\n", "malformed access record");
+    expectTraceError("0 0 w 99999999999999999999\n",
+                     "malformed access record");
+}
+
+TEST(TraceParseError, OutOfRangeProc)
+{
+    expectTraceError("procs 2\n2 0 w\n", "processor id 2 out of range");
+    expectTraceError("procs 2\n7 0 w\n", "declared procs 2");
+    // Without a directive the hard cap still applies.
+    expectTraceError("4096 0 w\n", "out of range");
+}
+
+TEST(TraceParseError, BadAddress)
+{
+    expectTraceError("0 6 w\n", "not word-aligned");
+    expectTraceError("0 67108864 w\n", "out of range");
+}
+
+TEST(TraceParseError, NonMonotoneEpoch)
+{
+    expectTraceError("0 0 w 2\n0 0 w 1\n", "non-monotone epoch 1");
+    expectTraceError("0 0 w 9999999\n", "out of range");
+}
+
+TEST(TraceParseError, TornFinalLine)
+{
+    // Incomplete record with no trailing newline: the torn tail of a
+    // killed writer. Must be diagnosed as torn, not accepted.
+    expectTraceError("0 0 w 0\n0 8", "torn final line");
+    expectTraceError("procs 2\n0 0 w\n1", "torn final line");
+}
+
+TEST(TraceParseError, ProcsDirective)
+{
+    expectTraceError("procs\n", "malformed 'procs' directive");
+    expectTraceError("procs two\n", "malformed 'procs' directive");
+    expectTraceError("procs 0\n", "malformed 'procs' directive");
+    expectTraceError("procs 2000\n", "out of range");
+    expectTraceError("procs 2\nprocs 2\n0 0 w\n", "duplicate 'procs'");
+    expectTraceError("0 0 w\nprocs 2\n", "must precede all accesses");
+}
+
+TEST(TraceParseError, EmptyTrace)
+{
+    expectTraceError("", "no accesses");
+    expectTraceError("# only a comment\n", "no accesses");
+    expectTraceError("procs 4\n", "no accesses");
+}
+
+// ---------------------------------------------------------------------
+// Replay: the checked-in sample trace runs under every scheme, and the
+// result is byte-identical at any --jobs level and across repeats.
+
+TEST(TraceReplay, SampleLoadsWithExpectedShape)
+{
+    TraceWorkload t = loadTraceSpec("trace:" + samplePath());
+    EXPECT_EQ(t.procs, 4u);
+    EXPECT_EQ(t.epochs, 3u);
+    EXPECT_EQ(t.reads, 16u);
+    EXPECT_EQ(t.writes, 21u);
+    EXPECT_GE(t.dataBytes, 64u);
+}
+
+TEST(TraceReplay, AllSchemesRunAndDiffer)
+{
+    TraceWorkload t = loadTraceSpec("trace:" + samplePath());
+    std::vector<std::uint64_t> fps;
+    for (SchemeKind k : kAllSchemes) {
+        MachineConfig cfg;
+        cfg.scheme = k;
+        cfg.procs = 4;
+        sim::RunResult r = runTrace(t, cfg);
+        EXPECT_FALSE(r.abort.aborted()) << schemeName(k);
+        EXPECT_EQ(r.reads, t.reads) << schemeName(k);
+        EXPECT_EQ(r.writes, t.writes) << schemeName(k);
+        EXPECT_EQ(r.epochs, t.epochs) << schemeName(k);
+        EXPECT_GT(r.cycles, 0u) << schemeName(k);
+        fps.push_back(r.fingerprint());
+    }
+    // Base invalidates everything; the smarter schemes must beat it.
+    MachineConfig base;
+    base.scheme = SchemeKind::Base;
+    base.procs = 4;
+    const Counter baseMisses = runTrace(t, base).readMisses;
+    MachineConfig hw;
+    hw.scheme = SchemeKind::HW;
+    hw.procs = 4;
+    EXPECT_LT(runTrace(t, hw).readMisses, baseMisses);
+    // And at least two schemes must disagree somewhere, or the replay
+    // plumbing is ignoring the scheme entirely.
+    bool anyDiff = false;
+    for (std::size_t i = 1; i < fps.size(); ++i)
+        anyDiff = anyDiff || fps[i] != fps[0];
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(TraceReplay, IdenticalAcrossJobsAndRepeats)
+{
+    TraceWorkload t = loadTraceSpec("trace:" + samplePath());
+    for (SchemeKind k : kAllSchemes) {
+        MachineConfig cfg;
+        cfg.scheme = k;
+        cfg.procs = 4;
+        const sim::RunResult ref = runTrace(t, cfg);
+        for (unsigned jobs : {1u, 2u, 8u}) {
+            // Replay the same trace on several worker threads at once:
+            // every result must be byte-identical to the reference.
+            auto runs = parallelMap(jobs, 8, [&](std::size_t) {
+                return runTrace(t, cfg);
+            });
+            for (const sim::RunResult &r : runs) {
+                EXPECT_TRUE(r == ref) << schemeName(k);
+                EXPECT_EQ(r.fingerprint(), ref.fingerprint())
+                    << schemeName(k);
+            }
+        }
+    }
+}
+
+TEST(TraceReplay, NarrowConfigWidenedToTraceProcs)
+{
+    TraceWorkload t = loadTraceSpec("trace:" + samplePath());
+    MachineConfig cfg;
+    cfg.scheme = SchemeKind::TPI;
+    cfg.procs = 1; // narrower than the trace's 4: must be widened
+    sim::RunResult r = runTrace(t, cfg);
+    EXPECT_FALSE(r.abort.aborted());
+    EXPECT_EQ(r.reads, t.reads);
+}

@@ -39,8 +39,11 @@
 #include "common/strutil.hh"
 #include "fault/plan.hh"
 #include "obs/provenance.hh"
+#include "program_gen.hh"
 #include "sim/machine.hh"
 #include "verify/diagnostic.hh"
+#include "workloads/synth.hh"
+#include "workloads/trace.hh"
 #include "workloads/workloads.hh"
 
 namespace {
@@ -61,6 +64,8 @@ struct CliOptions
                                        SchemeKind::VC};
     bool verbose = false;
     std::string jsonPath;
+    /** Workload specs to fan across; empty = the six benchmarks. */
+    std::vector<std::string> workloadSpecs;
 };
 
 void
@@ -81,6 +86,10 @@ usage(const char *argv0)
         "  --sites LIST     site mask: all|net|mem|dir or site names\n"
         "                   (default all)\n"
         "  --schemes L,L    schemes to fan across (default all five)\n"
+        "  --workloads L,L  workload specs the seeds rotate over:\n"
+        "                   benchmark names, gen:<seed>,\n"
+        "                   synth:<family>:<seed>, or trace:<file>\n"
+        "                   (default: the six benchmarks)\n"
         "  --scale N        workload problem scale (default 1)\n"
         "  --jobs N         run cells on N threads (default: all)\n"
         "  --json PATH      write the campaign table as JSON (with a\n"
@@ -163,6 +172,38 @@ parseArgs(int argc, char **argv)
                 opt.sites =
                     fault::FaultPlan::parse("1:1:" + opt.sitesSpec).sites;
             } catch (const FatalError &) {
+                std::exit(verify::ExitUsage);
+            }
+        } else if (a == "--workloads") {
+            opt.workloadSpecs.clear();
+            std::string v = value("--workloads");
+            for (const std::string &tok : split(v, ',')) {
+                const std::string t = trim(tok);
+                bool ok = t.rfind("gen:", 0) == 0 ||
+                          workloads::isTraceSpec(t);
+                if (workloads::isSynthSpec(t)) {
+                    try {
+                        workloads::parseSynthSpec(t);
+                        ok = true;
+                    } catch (const FatalError &) {
+                        std::exit(verify::ExitUsage);
+                    }
+                }
+                for (const std::string &n : workloads::benchmarkNames())
+                    if (toLower(t) == toLower(n))
+                        ok = true;
+                if (!ok) {
+                    std::fprintf(stderr,
+                                 "%s: unknown workload spec '%s'\n",
+                                 argv[0], t.c_str());
+                    std::exit(verify::ExitUsage);
+                }
+                opt.workloadSpecs.push_back(t);
+            }
+            if (opt.workloadSpecs.empty()) {
+                std::fprintf(stderr,
+                             "%s: --workloads needs at least one\n",
+                             argv[0]);
                 std::exit(verify::ExitUsage);
             }
         } else if (a == "--schemes") {
@@ -291,14 +332,47 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opt = parseArgs(argc, argv);
-    const std::vector<std::string> benchmarks = workloads::benchmarkNames();
+    const std::vector<std::string> benchmarks =
+        opt.workloadSpecs.empty() ? workloads::benchmarkNames()
+                                  : opt.workloadSpecs;
 
-    // Compile each workload once, up front (shared across all runs).
+    // Load each workload once, up front (shared across all runs):
+    // compiled HIR for names/gen:/synth: specs, parsed records for
+    // trace: specs. A bad spec or malformed trace is a usage error.
     std::map<std::string, compiler::CompiledProgram> programs;
-    for (const std::string &name : benchmarks)
-        programs.emplace(name,
-                         compiler::compileProgram(
-                             workloads::buildBenchmark(name, opt.scale)));
+    std::map<std::string, workloads::TraceWorkload> traces;
+    try {
+        for (const std::string &name : benchmarks) {
+            if (workloads::isTraceSpec(name)) {
+                traces.emplace(name, workloads::loadTraceSpec(name));
+            } else if (name.rfind("gen:", 0) == 0) {
+                testgen::GenOptions g;
+                g.seed = std::strtoull(name.substr(4).c_str(), nullptr,
+                                       10);
+                programs.emplace(name,
+                                 compiler::compileProgram(
+                                     testgen::randomLegalProgram(g)));
+            } else {
+                programs.emplace(
+                    name, compiler::compileProgram(
+                              workloads::buildBenchmark(name, opt.scale)));
+            }
+        }
+    } catch (const FatalError &) {
+        // fatal() already emitted the reason (file:line for traces).
+        return verify::ExitUsage;
+    }
+
+    // One faulted run (or its fault-free reference when cfg.fault is
+    // disabled). Trace workloads replay through the scheme directly;
+    // they carry no value oracle, so corruption there surfaces as an
+    // abort or as differing work counts (the Silent check below).
+    auto runOne = [&](const std::string &name, const MachineConfig &cfg) {
+        auto t = traces.find(name);
+        if (t != traces.end())
+            return workloads::runTrace(t->second, cfg);
+        return sim::simulate(programs.at(name), cfg);
+    };
 
     // Fault-free reference per (scheme, workload): the "same work"
     // baseline completed runs are checked against.
@@ -309,7 +383,7 @@ main(int argc, char **argv)
             cfg.scheme = k;
             cfg.shadowEpochCheck = true;
             refs.emplace(std::make_pair(static_cast<int>(k), name),
-                         sim::simulate(programs.at(name), cfg));
+                         runOne(name, cfg));
         }
     }
 
@@ -349,7 +423,7 @@ main(int argc, char **argv)
             cfg.fault.seed = c.seed;
             cfg.fault.sites = opt.sites;
             try {
-                out.run = sim::simulate(programs.at(*c.benchmark), cfg);
+                out.run = runOne(*c.benchmark, cfg);
             } catch (const std::exception &e) {
                 out.error = e.what();
                 out.verdict = Verdict::Internal;

@@ -48,6 +48,7 @@
 #include "sim/machine.hh"
 #include "sim/trace.hh"
 #include "verify/diagnostic.hh"
+#include "workloads/trace.hh"
 #include "workloads/workloads.hh"
 
 namespace {
@@ -239,6 +240,36 @@ class OutcomeLog : public sim::TraceSink
 Source
 runWorkload(const CliOptions &opt)
 {
+    // trace:<file> replays an external trace through the chosen scheme
+    // with the exact per-access verdict stream (same path the compiled
+    // workloads use); the strict parser makes malformed input exit 2.
+    if (workloads::isTraceSpec(opt.workload)) {
+        Source src;
+        try {
+            const workloads::TraceWorkload t =
+                workloads::loadTraceSpec(opt.workload);
+            MachineConfig cfg;
+            cfg.scheme = opt.scheme;
+            cfg.procs = opt.procs ? opt.procs : t.procs;
+            if (cfg.procs < t.procs)
+                cfg.procs = t.procs;
+            OutcomeLog log;
+            src.run = workloads::runTrace(t, cfg, &log);
+            src.hasRun = true;
+            src.exact = true;
+            src.lineBytes = cfg.lineBytes;
+            src.promote = cfg.tpiPromoteOnHit;
+            src.recs = std::move(log.recs);
+            src.epochs = log.epochs;
+            src.what = csprintf(
+                "trace %s (scheme %s, %d procs, exact)", t.source,
+                schemeName(cfg.scheme), cfg.procs);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "hscd_inspect: %s\n", e.what());
+            std::exit(verify::ExitUsage);
+        }
+        return src;
+    }
     compiler::AnalysisOptions aopts;
     aopts.assumeSerialAffinity = true;
     compiler::CompiledProgram cp;

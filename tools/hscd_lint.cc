@@ -41,6 +41,8 @@
 #include "verify/precision.hh"
 #include "verify/sarif.hh"
 #include "verify/verify.hh"
+#include "workloads/synth.hh"
+#include "workloads/trace.hh"
 #include "workloads/workloads.hh"
 
 namespace {
@@ -68,6 +70,9 @@ struct CliOptions
 struct TargetResult
 {
     verify::DiagnosticEngine diags{""};
+    // trace:<file> targets are parse-validated and summarized instead
+    // of linted (a trace has no HIR to lint); non-empty when used.
+    std::string traceNote;
     // --tighten extras:
     bool tightenRan = false;
     bool tightenRefused = false;       ///< pre-tighten lint failed
@@ -100,7 +105,12 @@ usage(const char *argv0)
         "usage: %s [options] [target...]\n"
         "\n"
         "Targets: any of the six workloads (%s),\n"
-        "         gen:<seed> for a random legal-DOALL program, or\n"
+        "         gen:<seed> for a random legal-DOALL program,\n"
+        "         synth:<family>:<seed> for a synthetic workload\n"
+        "         (families: falseshare, migratory, prodcons, reuse,\n"
+        "         stencil, streaming),\n"
+        "         trace:<file> to strictly parse-validate an external\n"
+        "         memory trace (exit 2 on malformed input), or\n"
         "         'all' for all six workloads (also the default).\n"
         "\n"
         "Options:\n"
@@ -197,6 +207,23 @@ parseArgs(int argc, char **argv)
     for (const std::string &t : opt.targets) {
         if (t.rfind("gen:", 0) == 0)
             continue;
+        if (workloads::isSynthSpec(t)) {
+            try {
+                workloads::parseSynthSpec(t);
+            } catch (const FatalError &) {
+                // fatal() already emitted the reason.
+                std::exit(verify::ExitUsage);
+            }
+            continue;
+        }
+        if (workloads::isTraceSpec(t)) {
+            try {
+                workloads::traceSpecPath(t);
+            } catch (const FatalError &) {
+                std::exit(verify::ExitUsage);
+            }
+            continue;
+        }
         bool known = false;
         for (const std::string &n : workloads::benchmarkNames())
             if (strcaseeq(t, n))
@@ -236,6 +263,18 @@ tightenConfig(const CliOptions &opt)
 TargetResult
 lintOne(const CliOptions &opt, const std::string &target)
 {
+    if (workloads::isTraceSpec(target)) {
+        // Strict parse (fatal -> exit 2 in main); summarize on success.
+        const workloads::TraceWorkload t =
+            workloads::loadTraceSpec(target);
+        TargetResult r;
+        r.traceNote = csprintf(
+            "trace[%s]: parse ok: procs=%d reads=%d writes=%d "
+            "epochs=%d footprint=%d bytes\n",
+            t.source, t.procs, t.reads, t.writes, t.epochs,
+            t.dataBytes);
+        return r;
+    }
     compiler::AnalysisOptions aopts;
     aopts.timetagBits = opt.lint.timetagBits;
     aopts.symbolicParams = opt.symbolic;
@@ -297,9 +336,16 @@ main(int argc, char **argv)
 
     // Lint in parallel, render strictly in input order: the output is
     // byte-identical at any --jobs (same contract as the sweep engine).
-    std::vector<TargetResult> results = parallelMap(
-        opt.jobs, opt.targets.size(),
-        [&](std::size_t i) { return lintOne(opt, opt.targets[i]); });
+    std::vector<TargetResult> results;
+    try {
+        results = parallelMap(
+            opt.jobs, opt.targets.size(),
+            [&](std::size_t i) { return lintOne(opt, opt.targets[i]); });
+    } catch (const FatalError &) {
+        // User error (bad trace file, malformed spec); the reason was
+        // already emitted by fatal().
+        return verify::ExitUsage;
+    }
 
     obs::Provenance prov;
     prov.schema = "hscd-lint";
@@ -324,6 +370,10 @@ main(int argc, char **argv)
     int exit_code = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const TargetResult &r = results[i];
+        if (!r.traceNote.empty()) {
+            std::fputs(r.traceNote.c_str(), stdout);
+            continue;
+        }
         if (opt.json) {
             std::fputs(r.diags.renderJson().c_str(), stdout);
             std::fputc('\n', stdout);
