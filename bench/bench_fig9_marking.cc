@@ -35,7 +35,8 @@ main()
         .col("bypass")
         .col("%marked");
     for (const std::string &name : workloads::benchmarkNames()) {
-        const compiler::CompiledProgram &cp = compiledBenchmark(name);
+        const CompiledProgramPtr prog = compiledBenchmark(name);
+        const compiler::CompiledProgram &cp = *prog;
         const compiler::MarkingStats &st = cp.marking.stats();
         double marked =
             st.reads ? 100.0 * double(st.timeRead + st.bypass) /
@@ -62,7 +63,8 @@ main()
         h.col("d=" + std::to_string(d));
     h.col("d>6");
     for (const std::string &name : workloads::benchmarkNames()) {
-        const compiler::CompiledProgram &cp = compiledBenchmark(name);
+        const CompiledProgramPtr prog = compiledBenchmark(name);
+        const compiler::CompiledProgram &cp = *prog;
         const auto &hist = cp.marking.stats().distanceHist;
         h.row().cell(name);
         std::uint64_t tail = 0;

@@ -38,24 +38,52 @@ printHeader(std::ostream &os, const std::string &experiment,
         cfg.twoPhaseResetCycles, cfg.networkRadix);
 }
 
-const compiler::CompiledProgram &
+namespace {
+
+// Compile cache: LRU-bounded so a resident campaign server can stay up
+// for weeks without the program cache growing monotonically. Entries
+// hand out shared_ptrs, so eviction can never dangle a program a
+// concurrent run is still simulating - the last holder frees it.
+struct CompileCache
+{
+    using Key = std::tuple<std::string, int, bool>;
+    struct Entry
+    {
+        CompiledProgramPtr program;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::mutex mtx;
+    std::map<Key, Entry> entries;
+    std::uint64_t clock = 0;
+    std::size_t budget = kDefaultBudget;
+    CompiledCacheStats stats;
+
+    static constexpr std::size_t kDefaultBudget = 64;
+};
+
+CompileCache &
+compileCache()
+{
+    static CompileCache cache;
+    return cache;
+}
+
+} // namespace
+
+CompiledProgramPtr
 compiledBenchmark(const std::string &name, int scale, bool affinity)
 {
-    // Insert-once, thread-safe: entries are heap-allocated and never
-    // erased, so a returned reference stays valid for the process
-    // lifetime even while other threads keep inserting. (The previous
-    // unsynchronized map raced on concurrent first-touch and could hand
-    // out references into a map mid-mutation.)
-    using Key = std::tuple<std::string, int, bool>;
-    static std::mutex mtx;
-    static std::map<Key, std::unique_ptr<compiler::CompiledProgram>> cache;
-
-    Key key{toLower(name), scale, affinity};
+    CompileCache &cc = compileCache();
+    CompileCache::Key key{toLower(name), scale, affinity};
     {
-        std::lock_guard<std::mutex> lk(mtx);
-        auto it = cache.find(key);
-        if (it != cache.end())
-            return *it->second;
+        std::lock_guard<std::mutex> lk(cc.mtx);
+        auto it = cc.entries.find(key);
+        if (it != cc.entries.end()) {
+            it->second.lastUse = ++cc.clock;
+            ++cc.stats.hits;
+            return it->second.program;
+        }
     }
 
     // Compile outside the lock so independent programs compile in
@@ -63,20 +91,72 @@ compiledBenchmark(const std::string &name, int scale, bool affinity)
     // the same key the losers' copies are equivalent and discarded.
     compiler::AnalysisOptions opts;
     opts.assumeSerialAffinity = affinity;
-    auto cp = std::make_unique<compiler::CompiledProgram>(
+    auto cp = std::make_shared<const compiler::CompiledProgram>(
         compiler::compileProgram(workloads::buildBenchmark(name, scale),
                                  opts));
 
-    std::lock_guard<std::mutex> lk(mtx);
-    auto it = cache.try_emplace(std::move(key), std::move(cp)).first;
-    return *it->second;
+    std::lock_guard<std::mutex> lk(cc.mtx);
+    auto [it, inserted] = cc.entries.try_emplace(std::move(key));
+    if (inserted) {
+        it->second.program = std::move(cp);
+        ++cc.stats.builds;
+        // Evict least-recently-used entries beyond the budget (never
+        // the one just inserted). In-flight holders keep their program
+        // alive through their shared_ptr.
+        while (cc.entries.size() > cc.budget) {
+            auto victim = cc.entries.end();
+            for (auto e = cc.entries.begin(); e != cc.entries.end(); ++e)
+                if (e != it && (victim == cc.entries.end() ||
+                                e->second.lastUse < victim->second.lastUse))
+                    victim = e;
+            if (victim == cc.entries.end())
+                break;
+            cc.entries.erase(victim);
+            ++cc.stats.evictions;
+        }
+    } else {
+        ++cc.stats.hits; // lost a racing compile of the same key
+    }
+    it->second.lastUse = ++cc.clock;
+    return it->second.program;
+}
+
+CompiledCacheStats
+compiledCacheStats()
+{
+    CompileCache &cc = compileCache();
+    std::lock_guard<std::mutex> lk(cc.mtx);
+    CompiledCacheStats s = cc.stats;
+    s.resident = cc.entries.size();
+    s.budget = cc.budget;
+    return s;
+}
+
+void
+setCompiledCacheBudget(std::size_t maxPrograms)
+{
+    CompileCache &cc = compileCache();
+    std::lock_guard<std::mutex> lk(cc.mtx);
+    cc.budget = maxPrograms ? maxPrograms
+                            : CompileCache::kDefaultBudget;
+    while (cc.entries.size() > cc.budget) {
+        auto victim = cc.entries.begin();
+        for (auto e = cc.entries.begin(); e != cc.entries.end(); ++e)
+            if (e->second.lastUse < victim->second.lastUse)
+                victim = e;
+        cc.entries.erase(victim);
+        ++cc.stats.evictions;
+    }
 }
 
 sim::RunResult
 runBenchmark(const std::string &name, const MachineConfig &cfg, int scale,
              bool affinity)
 {
-    return sim::simulate(compiledBenchmark(name, scale, affinity), cfg);
+    // The shared_ptr pins the program (and its stream cache) for the
+    // duration of the run, even if the LRU evicts it meanwhile.
+    const CompiledProgramPtr cp = compiledBenchmark(name, scale, affinity);
+    return sim::simulate(*cp, cfg);
 }
 
 sim::RunResult
@@ -84,10 +164,10 @@ runBenchmarkObserved(const std::string &name, const MachineConfig &cfg,
                      int scale, bool affinity, const RunObservers &o)
 {
     obs::PhaseProfile pre;
-    const compiler::CompiledProgram *cp;
+    CompiledProgramPtr cp;
     {
         obs::PhaseTimer t(o.profile ? &pre.compileMs : nullptr);
-        cp = &compiledBenchmark(name, scale, affinity);
+        cp = compiledBenchmark(name, scale, affinity);
     }
     std::unique_ptr<sim::Machine> m;
     {

@@ -12,9 +12,12 @@
 #include <thread>
 #include <tuple>
 
+#include <csignal>
+
 #include "common/log.hh"
 #include "common/parallel.hh"
 #include "common/strutil.hh"
+#include "serve/journal.hh"
 #include "verify/diagnostic.hh"
 
 namespace hscd {
@@ -28,9 +31,10 @@ usage(const char *argv0, int code)
     std::cerr
         << "usage: " << argv0
         << " [--jobs N] [--json PATH] [--fault SPEC] [--timeout-ms N]\n"
-        << "       [--checkpoint PATH] [--resume] [--trace-out PATH]\n"
-        << "       [--metrics SPEC] [--metrics-out PATH] [--cell SUBSTR]\n"
-        << "       [--profile]\n"
+        << "       [--deadline-ms N] [--checkpoint PATH] [--resume]\n"
+        << "       [--trace-out PATH] [--metrics SPEC] [--metrics-out "
+           "PATH]\n"
+        << "       [--cell SUBSTR] [--profile]\n"
         << "  --jobs N, -j N  run sweep cells on N threads (default: all\n"
         << "                  hardware threads; 1 = serial). The output\n"
         << "                  is identical at any N, modulo the trailing\n"
@@ -42,6 +46,12 @@ usage(const char *argv0, int code)
         << "                  campaign seed and the cell index.\n"
         << "  --timeout-ms N  abandon any cell still running after N ms\n"
         << "                  (recorded as a structured per-cell error)\n"
+        << "  --deadline-ms N whole-campaign wall-clock budget: cells\n"
+        << "                  not started when it expires are skipped,\n"
+        << "                  completed cells stay checkpointed, and the\n"
+        << "                  sweep exits with the structured-abort code\n"
+        << "                  (" << int(verify::ExitAbort)
+        << ") instead of running over\n"
         << "  --checkpoint P  journal each completed cell to P so an\n"
         << "                  interrupted sweep can be restarted\n"
         << "  --resume        skip cells already journaled in the\n"
@@ -67,203 +77,32 @@ usage(const char *argv0, int code)
 
 using obs::jsonEscape;
 
-// ---------------------------------------------------------------------
-// Checkpoint journal encoding.
-//
-// The journal is line-oriented so a kill -9 can tear at most the final
-// line: a header naming the sweep's identity hash, then one
-// whitespace-separated record per completed cell, appended and flushed
-// as each cell finishes. Every RunResult field round-trips bit-exactly
-// (doubles travel as their IEEE bit patterns), which is what lets a
-// resumed sweep reproduce byte-identical JSON without re-running
-// finished cells. A record that fails to decode - the torn tail of an
-// interrupted writer - is simply re-run.
-// ---------------------------------------------------------------------
+// Checkpoint journal encoding: the line-oriented format introduced in
+// PR 4 now lives in serve/journal.{hh,cc}, shared with the campaign
+// server's durable work queue so the two implementations cannot drift.
+// The sweep keeps its own magic; the server refuses sweep checkpoints
+// as foreign and vice versa.
+using serve::TokenReader;
+using serve::decodeResult;
+using serve::encodeResult;
+using serve::escapeTok;
+using serve::parseJournalHeader;
 
 constexpr const char *kJournalMagic = "hscd-sweep-journal v1";
 
-/** Whitespace-free token encoding; the empty string becomes "-". */
-std::string
-escapeTok(const std::string &s)
+// SIGTERM/SIGINT -> verify::ExitCode contract for the sweep CLIs: the
+// first signal requests a graceful stop (in-flight cells finish and are
+// journaled, remaining cells are skipped, the process exits
+// verify::ExitAbort = "interrupted with checkpoint"); a second signal
+// aborts immediately with the same code (async-signal-safe _exit).
+volatile std::sig_atomic_t g_sweepInterrupted = 0;
+
+extern "C" void
+sweepSignalHandler(int)
 {
-    if (s.empty())
-        return "-";
-    std::string out;
-    out.reserve(s.size());
-    for (unsigned char c : s) {
-        if (c == '%' || c <= ' ' || c == 0x7f || (out.empty() && c == '-'))
-            out += csprintf("%%%02x", unsigned(c));
-        else
-            out += static_cast<char>(c);
-    }
-    return out;
-}
-
-std::string
-unescapeTok(const std::string &t)
-{
-    if (t == "-")
-        return "";
-    std::string out;
-    out.reserve(t.size());
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        if (t[i] == '%' && i + 2 < t.size()) {
-            out += static_cast<char>(
-                std::strtoul(t.substr(i + 1, 2).c_str(), nullptr, 16));
-            i += 2;
-        } else {
-            out += t[i];
-        }
-    }
-    return out;
-}
-
-std::string
-doubleBits(double v)
-{
-    std::uint64_t u = 0;
-    std::memcpy(&u, &v, sizeof(u));
-    return csprintf("%016x", u);
-}
-
-/** Strict token reader: any malformed/missing token poisons the line. */
-struct TokenReader
-{
-    explicit TokenReader(const std::string &line) : in(line) {}
-
-    std::string
-    tok()
-    {
-        std::string t;
-        if (!(in >> t))
-            ok = false;
-        return t;
-    }
-
-    std::uint64_t
-    u64(int base = 10)
-    {
-        const std::string t = tok();
-        if (!ok)
-            return 0;
-        char *end = nullptr;
-        std::uint64_t v = std::strtoull(t.c_str(), &end, base);
-        if (end == t.c_str() || *end != '\0')
-            ok = false;
-        return v;
-    }
-
-    double
-    f64()
-    {
-        std::uint64_t u = u64(16);
-        double v = 0;
-        std::memcpy(&v, &u, sizeof(v));
-        return v;
-    }
-
-    std::string str() { return unescapeTok(tok()); }
-
-    std::istringstream in;
-    bool ok = true;
-};
-
-void
-encodeResult(std::ostream &s, const sim::RunResult &r)
-{
-    auto u = [&](std::uint64_t v) { s << ' ' << v; };
-    auto d = [&](double v) { s << ' ' << doubleBits(v); };
-    auto str = [&](const std::string &v) { s << ' ' << escapeTok(v); };
-
-    u(r.cycles); u(r.epochs); u(r.parallelEpochs); u(r.tasks);
-    u(r.reads); u(r.writes); u(r.readHits); u(r.readMisses);
-    d(r.readMissRate); d(r.avgMissLatency);
-    u(r.missCold); u(r.missReplacement); u(r.missTrueShare);
-    u(r.missFalseShare); u(r.missConservative); u(r.missTagReset);
-    u(r.missUncached);
-    u(r.timeReads); u(r.timeReadHits); u(r.bypassReads);
-    u(r.readPackets); u(r.writePackets); u(r.coherencePackets);
-    u(r.writebackPackets);
-    u(r.readWords); u(r.writeWords); u(r.writebackWords);
-    u(r.trafficPackets); u(r.trafficWords);
-    u(r.busyMax); d(r.busyAvg); u(r.serialCycles);
-    u(r.oracleViolations); u(r.doallViolations);
-    u(r.firstViolations.size());
-    for (const sim::OracleViolation &v : r.firstViolations) {
-        u(v.addr); u(v.ref); u(v.seen); u(v.expected);
-        u(v.epoch); u(v.proc);
-    }
-    u(r.shadowViolations);
-    u(r.firstShadowViolations.size());
-    for (const sim::ShadowViolation &v : r.firstShadowViolations) {
-        u(v.addr); u(v.ref); u(v.proc); u(v.epoch);
-        u(v.writerProc); u(v.writerEpoch);
-    }
-    u(static_cast<std::uint64_t>(r.abort.kind));
-    str(r.abort.reason);
-    u(r.abort.cycle); u(r.abort.epoch); u(r.abort.proc);
-    str(r.abort.snapshot);
-    u(r.faultsInjected); u(r.faultsRecovered); u(r.faultRetries);
-}
-
-bool
-decodeResult(TokenReader &in, sim::RunResult &r)
-{
-    // Caps torn/corrupt length prefixes before they become allocations.
-    constexpr std::uint64_t kMaxViolations = 1u << 20;
-
-    r.cycles = in.u64(); r.epochs = in.u64();
-    r.parallelEpochs = in.u64(); r.tasks = in.u64();
-    r.reads = in.u64(); r.writes = in.u64();
-    r.readHits = in.u64(); r.readMisses = in.u64();
-    r.readMissRate = in.f64(); r.avgMissLatency = in.f64();
-    r.missCold = in.u64(); r.missReplacement = in.u64();
-    r.missTrueShare = in.u64(); r.missFalseShare = in.u64();
-    r.missConservative = in.u64(); r.missTagReset = in.u64();
-    r.missUncached = in.u64();
-    r.timeReads = in.u64(); r.timeReadHits = in.u64();
-    r.bypassReads = in.u64();
-    r.readPackets = in.u64(); r.writePackets = in.u64();
-    r.coherencePackets = in.u64(); r.writebackPackets = in.u64();
-    r.readWords = in.u64(); r.writeWords = in.u64();
-    r.writebackWords = in.u64();
-    r.trafficPackets = in.u64(); r.trafficWords = in.u64();
-    r.busyMax = in.u64(); r.busyAvg = in.f64();
-    r.serialCycles = in.u64();
-    r.oracleViolations = in.u64(); r.doallViolations = in.u64();
-
-    std::uint64_t n = in.u64();
-    if (!in.ok || n > kMaxViolations)
-        return false;
-    r.firstViolations.resize(n);
-    for (sim::OracleViolation &v : r.firstViolations) {
-        v.addr = in.u64();
-        v.ref = static_cast<hir::RefId>(in.u64());
-        v.seen = in.u64(); v.expected = in.u64();
-        v.epoch = in.u64();
-        v.proc = static_cast<ProcId>(in.u64());
-    }
-    r.shadowViolations = in.u64();
-    n = in.u64();
-    if (!in.ok || n > kMaxViolations)
-        return false;
-    r.firstShadowViolations.resize(n);
-    for (sim::ShadowViolation &v : r.firstShadowViolations) {
-        v.addr = in.u64();
-        v.ref = static_cast<hir::RefId>(in.u64());
-        v.proc = static_cast<ProcId>(in.u64());
-        v.epoch = in.u64();
-        v.writerProc = static_cast<ProcId>(in.u64());
-        v.writerEpoch = in.u64();
-    }
-    r.abort.kind = static_cast<fault::AbortKind>(in.u64());
-    r.abort.reason = in.str();
-    r.abort.cycle = in.u64(); r.abort.epoch = in.u64();
-    r.abort.proc = static_cast<std::uint32_t>(in.u64());
-    r.abort.snapshot = in.str();
-    r.faultsInjected = in.u64(); r.faultsRecovered = in.u64();
-    r.faultRetries = in.u64();
-    return in.ok;
+    if (g_sweepInterrupted)
+        std::_Exit(verify::ExitAbort);
+    g_sweepInterrupted = 1;
 }
 
 } // namespace
@@ -313,6 +152,16 @@ SweepOptions::parse(int argc, char **argv)
                 usage(argv[0], verify::ExitUsage);
             }
             opts.timeoutMs = ms;
+        } else if (arg == "--deadline-ms") {
+            const std::string v = value("--deadline-ms");
+            char *end = nullptr;
+            double ms = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' || ms < 0) {
+                std::cerr << argv[0] << ": bad --deadline-ms value '"
+                          << v << "'\n";
+                usage(argv[0], verify::ExitUsage);
+            }
+            opts.deadlineMs = ms;
         } else if (arg == "--checkpoint") {
             opts.checkpointPath = value("--checkpoint");
         } else if (arg == "--resume") {
@@ -342,6 +191,13 @@ SweepOptions::parse(int argc, char **argv)
         std::cerr << argv[0] << ": --resume requires --checkpoint\n";
         usage(argv[0], verify::ExitUsage);
     }
+    // Every sweep CLI funnels through here, so this is where the
+    // SIGTERM/SIGINT -> ExitAbort contract is installed.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = sweepSignalHandler;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
     return opts;
 }
 
@@ -580,11 +436,12 @@ Sweep::run()
         std::ifstream f(_opts.checkpointPath);
         std::string line;
         if (f && std::getline(f, line)) {
-            TokenReader hdr(line);
-            const std::string magic1 = hdr.tok(), magic2 = hdr.tok();
-            const std::uint64_t id = hdr.u64(16);
-            if (!hdr.ok ||
-                magic1 + " " + magic2 != std::string(kJournalMagic))
+            // Strict header parse: a header torn anywhere - even inside
+            // the 16-hex identity - is structurally invalid and the
+            // file is rejected as "not a journal", never misparsed as a
+            // shorter foreign identity.
+            std::uint64_t id = 0;
+            if (!parseJournalHeader(line, kJournalMagic, id))
                 fatal("'%s' is not a sweep checkpoint journal",
                       _opts.checkpointPath);
             if (id != identity)
@@ -635,16 +492,43 @@ Sweep::run()
             fatal("cannot write checkpoint journal '%s'",
                   _opts.checkpointPath);
         if (!journal_has_header) {
-            journal << kJournalMagic << ' ' << csprintf("%016x", identity)
+            journal << serve::journalHeader(kJournalMagic, identity)
                     << '\n';
             journal.flush();
         }
     }
 
+    // Whole-campaign deadline: cells that have not *started* when the
+    // budget expires are skipped with a transient error (never
+    // journaled - a future --resume should re-run them), and the
+    // process later exits verify::ExitAbort instead of running over.
+    // The same transient path implements graceful SIGINT/SIGTERM.
+    const auto deadlineAt =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double, std::milli>(
+                     _opts.deadlineMs));
+
     _results = parallelMap(
         _opts.jobs, _cells.size(), [&](std::size_t i) {
             if (have[i])
                 return restored[i];
+            if (g_sweepInterrupted) {
+                Outcome o;
+                o.error = "interrupted: cell skipped (checkpointed "
+                          "cells are journaled)";
+                o.transient = true;
+                return o;
+            }
+            if (_opts.deadlineMs > 0 &&
+                std::chrono::steady_clock::now() >= deadlineAt) {
+                Outcome o;
+                o.error = csprintf(
+                    "deadline: campaign budget of %.0f ms expired "
+                    "before this cell started",
+                    _opts.deadlineMs);
+                o.transient = true;
+                return o;
+            }
             Outcome o = runGuarded(i);
             if (journal.is_open()) {
                 std::ostringstream rec;
@@ -678,8 +562,31 @@ Sweep::error(std::size_t i) const
 }
 
 void
+Sweep::exitIfAborted() const
+{
+    std::size_t skipped = 0;
+    for (const Outcome &o : _results)
+        if (o.transient)
+            ++skipped;
+    if (!skipped)
+        return;
+    const char *why =
+        g_sweepInterrupted ? "interrupted" : "deadline expired";
+    std::cerr << csprintf(
+        "[sweep %s] %s: %d of %d cells skipped%s\n", _experiment, why,
+        skipped, _results.size(),
+        _opts.checkpointPath.empty()
+            ? ""
+            : " (completed cells journaled; restart with --resume)");
+    std::exit(verify::ExitAbort);
+}
+
+void
 Sweep::requireAllSound() const
 {
+    // A structured abort (signal / --deadline-ms) outranks soundness
+    // checking: skipped cells hold no results to verify.
+    exitIfAborted();
     for (std::size_t i = 0; i < _results.size(); ++i) {
         if (!_results[i].error.empty()) {
             warn("%s: harness error: %s", _cells[i].label,
@@ -699,6 +606,9 @@ Sweep::finish(std::ostream &os) const
     os << csprintf("[sweep %s] %d cells, jobs=%d, %.0f ms\n",
                    _experiment, _cells.size(),
                    _opts.jobs ? _opts.jobs : hardwareJobs(), _wallMs);
+    // After the artifacts are on disk: an interrupted or over-deadline
+    // sweep exits with the structured-abort code, never 0.
+    exitIfAborted();
 }
 
 void
@@ -759,77 +669,7 @@ Sweep::writeJson() const
             f << "      \"affinity\": " << (c.affinity ? "true" : "false")
               << ",\n";
         }
-        f << "      \"fingerprint\": \""
-          << csprintf("%016x", r.fingerprint()) << "\",\n";
-        f << "      \"cycles\": " << r.cycles << ",\n";
-        f << "      \"epochs\": " << r.epochs << ",\n";
-        f << "      \"parallel_epochs\": " << r.parallelEpochs << ",\n";
-        f << "      \"tasks\": " << r.tasks << ",\n";
-        f << "      \"reads\": " << r.reads << ",\n";
-        f << "      \"writes\": " << r.writes << ",\n";
-        f << "      \"read_hits\": " << r.readHits << ",\n";
-        f << "      \"read_misses\": " << r.readMisses << ",\n";
-        f << "      \"read_miss_rate\": "
-          << csprintf("%.17g", r.readMissRate) << ",\n";
-        f << "      \"avg_miss_latency\": "
-          << csprintf("%.17g", r.avgMissLatency) << ",\n";
-        f << "      \"miss_cold\": " << r.missCold << ",\n";
-        f << "      \"miss_replacement\": " << r.missReplacement << ",\n";
-        f << "      \"miss_true_share\": " << r.missTrueShare << ",\n";
-        f << "      \"miss_false_share\": " << r.missFalseShare << ",\n";
-        f << "      \"miss_conservative\": " << r.missConservative
-          << ",\n";
-        f << "      \"miss_tag_reset\": " << r.missTagReset << ",\n";
-        f << "      \"miss_uncached\": " << r.missUncached << ",\n";
-        f << "      \"time_reads\": " << r.timeReads << ",\n";
-        f << "      \"time_read_hits\": " << r.timeReadHits << ",\n";
-        f << "      \"bypass_reads\": " << r.bypassReads << ",\n";
-        f << "      \"read_packets\": " << r.readPackets << ",\n";
-        f << "      \"write_packets\": " << r.writePackets << ",\n";
-        f << "      \"coherence_packets\": " << r.coherencePackets
-          << ",\n";
-        f << "      \"writeback_packets\": " << r.writebackPackets
-          << ",\n";
-        f << "      \"read_words\": " << r.readWords << ",\n";
-        f << "      \"write_words\": " << r.writeWords << ",\n";
-        f << "      \"writeback_words\": " << r.writebackWords << ",\n";
-        f << "      \"traffic_packets\": " << r.trafficPackets << ",\n";
-        f << "      \"traffic_words\": " << r.trafficWords << ",\n";
-        f << "      \"busy_max\": " << r.busyMax << ",\n";
-        f << "      \"busy_avg\": " << csprintf("%.17g", r.busyAvg)
-          << ",\n";
-        f << "      \"serial_cycles\": " << r.serialCycles << ",\n";
-        f << "      \"oracle_violations\": " << r.oracleViolations
-          << ",\n";
-        f << "      \"doall_violations\": " << r.doallViolations;
-        // Robustness fields are emitted only when present so fault-free
-        // sweeps keep their historical byte-identical JSON.
-        if (r.shadowViolations != 0)
-            f << ",\n      \"shadow_violations\": " << r.shadowViolations;
-        if (r.faultsInjected || r.faultsRecovered || r.faultRetries) {
-            f << ",\n      \"faults_injected\": " << r.faultsInjected;
-            f << ",\n      \"faults_recovered\": " << r.faultsRecovered;
-            f << ",\n      \"fault_retries\": " << r.faultRetries;
-        }
-        if (r.aborted()) {
-            f << ",\n      \"abort\": {\n";
-            f << "        \"kind\": \"" << fault::abortKindName(r.abort.kind)
-              << "\",\n";
-            f << "        \"reason\": \"" << jsonEscape(r.abort.reason)
-              << "\",\n";
-            f << "        \"cycle\": " << r.abort.cycle << ",\n";
-            f << "        \"epoch\": " << r.abort.epoch << ",\n";
-            f << "        \"proc\": " << r.abort.proc << "\n";
-            f << "      }";
-        }
-        if (!_results[i].error.empty())
-            f << ",\n      \"error\": \""
-              << jsonEscape(_results[i].error) << "\"";
-        // Wall-clock phase profile: only under --profile (timings are
-        // machine-dependent, so byte-determinism contracts don't cover
-        // profiled output).
-        if (r.profile.any())
-            f << ",\n      \"profile\": " << r.profile.json();
+        serve::writeResultCellJson(f, r, _results[i].error);
         f << "\n    }" << (i + 1 < _cells.size() ? "," : "") << "\n";
     }
     f << "  ]\n}\n";

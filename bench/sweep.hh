@@ -60,6 +60,12 @@ struct SweepOptions
     fault::FaultPlan fault;
     /** Per-cell wall-clock budget in ms; 0 disables the timeout. */
     double timeoutMs = 0;
+    /**
+     * Whole-campaign wall-clock budget in ms; 0 disables it. On expiry
+     * the remaining cells are skipped (transient, never journaled) and
+     * the sweep exits verify::ExitAbort after checkpointing.
+     */
+    double deadlineMs = 0;
     /** Journal completed cells here ("" disables checkpointing). */
     std::string checkpointPath;
     /** Skip cells already recorded in the checkpoint journal. */
@@ -77,11 +83,13 @@ struct SweepOptions
 
     /**
      * Parse `--jobs/-j N`, `--json PATH`, `--fault SPEC`,
-     * `--timeout-ms N`, `--checkpoint PATH`, `--resume`,
-     * `--trace-out PATH`, `--metrics SPEC`, `--metrics-out PATH`,
-     * `--cell SUBSTR` and `--profile` (plus --help); exits with
-     * verify::ExitUsage on anything unrecognized so typos never
-     * silently change a sweep.
+     * `--timeout-ms N`, `--deadline-ms N`, `--checkpoint PATH`,
+     * `--resume`, `--trace-out PATH`, `--metrics SPEC`,
+     * `--metrics-out PATH`, `--cell SUBSTR` and `--profile` (plus
+     * --help); exits with verify::ExitUsage on anything unrecognized so
+     * typos never silently change a sweep. Also installs the
+     * SIGINT/SIGTERM handlers that map a graceful interrupt onto
+     * verify::ExitAbort.
      */
     static SweepOptions parse(int argc, char **argv);
 };
@@ -161,10 +169,19 @@ class Sweep
     {
         sim::RunResult result;
         std::string error;
+        /**
+         * True for cells skipped by a signal or --deadline-ms: never
+         * journaled (a --resume must re-run them) and excused from
+         * soundness checks; their presence turns the process exit code
+         * into verify::ExitAbort.
+         */
+        bool transient = false;
     };
 
     Outcome runGuarded(std::size_t i) const;
     std::uint64_t journalIdentity() const;
+    /** Exit verify::ExitAbort if any cell was skipped (signal/deadline). */
+    void exitIfAborted() const;
     void writeJson() const;
     /** Attach recorders to the observed cell (run() prologue). */
     void setupObservers();

@@ -1,0 +1,297 @@
+#include "serve/journal.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strutil.hh"
+#include "obs/provenance.hh"
+
+namespace hscd {
+namespace serve {
+
+std::string
+escapeTok(const std::string &s)
+{
+    if (s.empty())
+        return "-";
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (c == '%' || c <= ' ' || c == 0x7f || (out.empty() && c == '-'))
+            out += csprintf("%%%02x", unsigned(c));
+        else
+            out += static_cast<char>(c);
+    }
+    return out;
+}
+
+std::string
+unescapeTok(const std::string &t)
+{
+    if (t == "-")
+        return "";
+    std::string out;
+    out.reserve(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i] == '%' && i + 2 < t.size()) {
+            out += static_cast<char>(
+                std::strtoul(t.substr(i + 1, 2).c_str(), nullptr, 16));
+            i += 2;
+        } else {
+            out += t[i];
+        }
+    }
+    return out;
+}
+
+std::string
+doubleBits(double v)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return csprintf("%016x", u);
+}
+
+std::string
+TokenReader::tok()
+{
+    std::string t;
+    if (!(in >> t))
+        ok = false;
+    return t;
+}
+
+std::uint64_t
+TokenReader::u64(int base)
+{
+    const std::string t = tok();
+    if (!ok)
+        return 0;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(t.c_str(), &end, base);
+    if (end == t.c_str() || *end != '\0')
+        ok = false;
+    return v;
+}
+
+double
+TokenReader::f64()
+{
+    std::uint64_t u = u64(16);
+    double v = 0;
+    std::memcpy(&v, &u, sizeof(v));
+    return v;
+}
+
+bool
+TokenReader::atEnd()
+{
+    if (!ok)
+        return false;
+    std::string t;
+    return !(in >> t);
+}
+
+void
+encodeResult(std::ostream &s, const sim::RunResult &r)
+{
+    auto u = [&](std::uint64_t v) { s << ' ' << v; };
+    auto d = [&](double v) { s << ' ' << doubleBits(v); };
+    auto str = [&](const std::string &v) { s << ' ' << escapeTok(v); };
+
+    u(r.cycles); u(r.epochs); u(r.parallelEpochs); u(r.tasks);
+    u(r.reads); u(r.writes); u(r.readHits); u(r.readMisses);
+    d(r.readMissRate); d(r.avgMissLatency);
+    u(r.missCold); u(r.missReplacement); u(r.missTrueShare);
+    u(r.missFalseShare); u(r.missConservative); u(r.missTagReset);
+    u(r.missUncached);
+    u(r.timeReads); u(r.timeReadHits); u(r.bypassReads);
+    u(r.readPackets); u(r.writePackets); u(r.coherencePackets);
+    u(r.writebackPackets);
+    u(r.readWords); u(r.writeWords); u(r.writebackWords);
+    u(r.trafficPackets); u(r.trafficWords);
+    u(r.busyMax); d(r.busyAvg); u(r.serialCycles);
+    u(r.oracleViolations); u(r.doallViolations);
+    u(r.firstViolations.size());
+    for (const sim::OracleViolation &v : r.firstViolations) {
+        u(v.addr); u(v.ref); u(v.seen); u(v.expected);
+        u(v.epoch); u(v.proc);
+    }
+    u(r.shadowViolations);
+    u(r.firstShadowViolations.size());
+    for (const sim::ShadowViolation &v : r.firstShadowViolations) {
+        u(v.addr); u(v.ref); u(v.proc); u(v.epoch);
+        u(v.writerProc); u(v.writerEpoch);
+    }
+    u(static_cast<std::uint64_t>(r.abort.kind));
+    str(r.abort.reason);
+    u(r.abort.cycle); u(r.abort.epoch); u(r.abort.proc);
+    str(r.abort.snapshot);
+    u(r.faultsInjected); u(r.faultsRecovered); u(r.faultRetries);
+}
+
+bool
+decodeResult(TokenReader &in, sim::RunResult &r)
+{
+    // Caps torn/corrupt length prefixes before they become allocations.
+    constexpr std::uint64_t kMaxViolations = 1u << 20;
+
+    r.cycles = in.u64(); r.epochs = in.u64();
+    r.parallelEpochs = in.u64(); r.tasks = in.u64();
+    r.reads = in.u64(); r.writes = in.u64();
+    r.readHits = in.u64(); r.readMisses = in.u64();
+    r.readMissRate = in.f64(); r.avgMissLatency = in.f64();
+    r.missCold = in.u64(); r.missReplacement = in.u64();
+    r.missTrueShare = in.u64(); r.missFalseShare = in.u64();
+    r.missConservative = in.u64(); r.missTagReset = in.u64();
+    r.missUncached = in.u64();
+    r.timeReads = in.u64(); r.timeReadHits = in.u64();
+    r.bypassReads = in.u64();
+    r.readPackets = in.u64(); r.writePackets = in.u64();
+    r.coherencePackets = in.u64(); r.writebackPackets = in.u64();
+    r.readWords = in.u64(); r.writeWords = in.u64();
+    r.writebackWords = in.u64();
+    r.trafficPackets = in.u64(); r.trafficWords = in.u64();
+    r.busyMax = in.u64(); r.busyAvg = in.f64();
+    r.serialCycles = in.u64();
+    r.oracleViolations = in.u64(); r.doallViolations = in.u64();
+
+    std::uint64_t n = in.u64();
+    if (!in.ok || n > kMaxViolations)
+        return false;
+    r.firstViolations.resize(n);
+    for (sim::OracleViolation &v : r.firstViolations) {
+        v.addr = in.u64();
+        v.ref = static_cast<hir::RefId>(in.u64());
+        v.seen = in.u64(); v.expected = in.u64();
+        v.epoch = in.u64();
+        v.proc = static_cast<ProcId>(in.u64());
+    }
+    r.shadowViolations = in.u64();
+    n = in.u64();
+    if (!in.ok || n > kMaxViolations)
+        return false;
+    r.firstShadowViolations.resize(n);
+    for (sim::ShadowViolation &v : r.firstShadowViolations) {
+        v.addr = in.u64();
+        v.ref = static_cast<hir::RefId>(in.u64());
+        v.proc = static_cast<ProcId>(in.u64());
+        v.epoch = in.u64();
+        v.writerProc = static_cast<ProcId>(in.u64());
+        v.writerEpoch = in.u64();
+    }
+    r.abort.kind = static_cast<fault::AbortKind>(in.u64());
+    r.abort.reason = in.str();
+    r.abort.cycle = in.u64(); r.abort.epoch = in.u64();
+    r.abort.proc = static_cast<std::uint32_t>(in.u64());
+    r.abort.snapshot = in.str();
+    r.faultsInjected = in.u64(); r.faultsRecovered = in.u64();
+    r.faultRetries = in.u64();
+    return in.ok;
+}
+
+std::string
+journalHeader(const std::string &magic, std::uint64_t identity)
+{
+    return magic + ' ' + csprintf("%016x", identity);
+}
+
+void
+writeResultCellJson(std::ostream &f, const sim::RunResult &r,
+                    const std::string &error)
+{
+    using obs::jsonEscape;
+    f << "      \"fingerprint\": \""
+      << csprintf("%016x", r.fingerprint()) << "\",\n";
+    f << "      \"cycles\": " << r.cycles << ",\n";
+    f << "      \"epochs\": " << r.epochs << ",\n";
+    f << "      \"parallel_epochs\": " << r.parallelEpochs << ",\n";
+    f << "      \"tasks\": " << r.tasks << ",\n";
+    f << "      \"reads\": " << r.reads << ",\n";
+    f << "      \"writes\": " << r.writes << ",\n";
+    f << "      \"read_hits\": " << r.readHits << ",\n";
+    f << "      \"read_misses\": " << r.readMisses << ",\n";
+    f << "      \"read_miss_rate\": "
+      << csprintf("%.17g", r.readMissRate) << ",\n";
+    f << "      \"avg_miss_latency\": "
+      << csprintf("%.17g", r.avgMissLatency) << ",\n";
+    f << "      \"miss_cold\": " << r.missCold << ",\n";
+    f << "      \"miss_replacement\": " << r.missReplacement << ",\n";
+    f << "      \"miss_true_share\": " << r.missTrueShare << ",\n";
+    f << "      \"miss_false_share\": " << r.missFalseShare << ",\n";
+    f << "      \"miss_conservative\": " << r.missConservative << ",\n";
+    f << "      \"miss_tag_reset\": " << r.missTagReset << ",\n";
+    f << "      \"miss_uncached\": " << r.missUncached << ",\n";
+    f << "      \"time_reads\": " << r.timeReads << ",\n";
+    f << "      \"time_read_hits\": " << r.timeReadHits << ",\n";
+    f << "      \"bypass_reads\": " << r.bypassReads << ",\n";
+    f << "      \"read_packets\": " << r.readPackets << ",\n";
+    f << "      \"write_packets\": " << r.writePackets << ",\n";
+    f << "      \"coherence_packets\": " << r.coherencePackets << ",\n";
+    f << "      \"writeback_packets\": " << r.writebackPackets << ",\n";
+    f << "      \"read_words\": " << r.readWords << ",\n";
+    f << "      \"write_words\": " << r.writeWords << ",\n";
+    f << "      \"writeback_words\": " << r.writebackWords << ",\n";
+    f << "      \"traffic_packets\": " << r.trafficPackets << ",\n";
+    f << "      \"traffic_words\": " << r.trafficWords << ",\n";
+    f << "      \"busy_max\": " << r.busyMax << ",\n";
+    f << "      \"busy_avg\": " << csprintf("%.17g", r.busyAvg) << ",\n";
+    f << "      \"serial_cycles\": " << r.serialCycles << ",\n";
+    f << "      \"oracle_violations\": " << r.oracleViolations << ",\n";
+    f << "      \"doall_violations\": " << r.doallViolations;
+    // Robustness fields are emitted only when present so fault-free
+    // sweeps keep their historical byte-identical JSON.
+    if (r.shadowViolations != 0)
+        f << ",\n      \"shadow_violations\": " << r.shadowViolations;
+    if (r.faultsInjected || r.faultsRecovered || r.faultRetries) {
+        f << ",\n      \"faults_injected\": " << r.faultsInjected;
+        f << ",\n      \"faults_recovered\": " << r.faultsRecovered;
+        f << ",\n      \"fault_retries\": " << r.faultRetries;
+    }
+    if (r.aborted()) {
+        f << ",\n      \"abort\": {\n";
+        f << "        \"kind\": \"" << fault::abortKindName(r.abort.kind)
+          << "\",\n";
+        f << "        \"reason\": \"" << jsonEscape(r.abort.reason)
+          << "\",\n";
+        f << "        \"cycle\": " << r.abort.cycle << ",\n";
+        f << "        \"epoch\": " << r.abort.epoch << ",\n";
+        f << "        \"proc\": " << r.abort.proc << "\n";
+        f << "      }";
+    }
+    if (!error.empty())
+        f << ",\n      \"error\": \"" << jsonEscape(error) << "\"";
+    // Wall-clock phase profile: only under --profile (timings are
+    // machine-dependent, so byte-determinism contracts don't cover
+    // profiled output).
+    if (r.profile.any())
+        f << ",\n      \"profile\": " << r.profile.json();
+}
+
+bool
+parseJournalHeader(const std::string &line, const std::string &magic,
+                   std::uint64_t &identity)
+{
+    // Exact prefix match: a header torn anywhere inside the magic is a
+    // prefix of it, never equal to it.
+    if (line.size() < magic.size() + 2)
+        return false;
+    if (line.compare(0, magic.size(), magic) != 0 ||
+        line[magic.size()] != ' ')
+        return false;
+    const std::string id = line.substr(magic.size() + 1);
+    // Exactly 16 hex digits and nothing after them: a torn identity
+    // (fewer digits) or trailing junk is structurally invalid, so it
+    // can never be misread as some other sweep's (shorter) identity.
+    if (id.size() != 16)
+        return false;
+    for (char c : id)
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return false;
+    identity = std::strtoull(id.c_str(), nullptr, 16);
+    return true;
+}
+
+} // namespace serve
+} // namespace hscd

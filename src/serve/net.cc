@@ -1,0 +1,208 @@
+#include "serve/net.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/strutil.hh"
+
+namespace hscd {
+namespace serve {
+
+namespace {
+
+std::string
+errnoMessage(const char *what)
+{
+    return csprintf("%s: %s", what, std::strerror(errno));
+}
+
+} // namespace
+
+Fd &
+Fd::operator=(Fd &&o) noexcept
+{
+    if (this != &o) {
+        reset();
+        _fd = o._fd;
+        o._fd = -1;
+    }
+    return *this;
+}
+
+int
+Fd::release()
+{
+    int fd = _fd;
+    _fd = -1;
+    return fd;
+}
+
+void
+Fd::reset(int fd)
+{
+    if (_fd >= 0)
+        ::close(_fd);
+    _fd = fd;
+}
+
+Fd
+listenUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = csprintf("socket path too long: %s", path);
+        return Fd();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        error = errnoMessage("socket");
+        return Fd();
+    }
+    ::unlink(path.c_str()); // stale socket from a killed server
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = errnoMessage("bind");
+        return Fd();
+    }
+    if (::listen(fd.get(), 64) != 0) {
+        error = errnoMessage("listen");
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+listenTcp(std::uint16_t port, std::uint16_t &boundPort, std::string &error)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        error = errnoMessage("socket");
+        return Fd();
+    }
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = errnoMessage("bind");
+        return Fd();
+    }
+    if (::listen(fd.get(), 64) != 0) {
+        error = errnoMessage("listen");
+        return Fd();
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        error = errnoMessage("getsockname");
+        return Fd();
+    }
+    boundPort = ntohs(addr.sin_port);
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = csprintf("socket path too long: %s", path);
+        return Fd();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        error = errnoMessage("socket");
+        return Fd();
+    }
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = errnoMessage("connect");
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+connectTcp(std::uint16_t port, std::string &error)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        error = errnoMessage("socket");
+        return Fd();
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = errnoMessage("connect");
+        return Fd();
+    }
+    return fd;
+}
+
+bool
+LineChannel::readLine(std::string &line)
+{
+    for (;;) {
+        const std::size_t nl = _buf.find('\n');
+        if (nl != std::string::npos) {
+            line = _buf.substr(0, nl);
+            _buf.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        ssize_t n = ::read(_fd.get(), chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            line = _buf;
+            return false;
+        }
+        if (n == 0) {
+            line = _buf;
+            return false; // EOF; partial data left in line
+        }
+        _buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+LineChannel::writeAll(const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(_fd.get(), data.data() + off,
+                            data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+LineChannel::writeLine(const std::string &line)
+{
+    return writeAll(line + "\n");
+}
+
+} // namespace serve
+} // namespace hscd

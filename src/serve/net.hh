@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal socket plumbing for the campaign server and its clients.
+ *
+ * The server listens on an AF_UNIX stream socket by default (a path in
+ * the state directory - no ports to collide on, works in CI sandboxes)
+ * or on loopback TCP when asked. Both sides speak line-delimited
+ * frames; LineChannel adds buffered line reads and full-line writes on
+ * top of a raw fd, tolerating partial reads/writes and EINTR.
+ *
+ * Everything here returns errors by value (bool + errno-style message)
+ * rather than throwing: a dead peer is a normal event for a server.
+ */
+
+#ifndef HSCD_SERVE_NET_HH
+#define HSCD_SERVE_NET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hscd {
+namespace serve {
+
+/** RAII file descriptor. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : _fd(fd) {}
+    ~Fd() { reset(); }
+    Fd(Fd &&o) noexcept : _fd(o._fd) { o._fd = -1; }
+    Fd &operator=(Fd &&o) noexcept;
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return _fd; }
+    bool valid() const { return _fd >= 0; }
+    /** Release ownership without closing. */
+    int release();
+    void reset(int fd = -1);
+
+  private:
+    int _fd = -1;
+};
+
+/**
+ * Listen on an AF_UNIX stream socket at @p path (any stale socket file
+ * is unlinked first). Returns an invalid Fd with @p error set on
+ * failure.
+ */
+Fd listenUnix(const std::string &path, std::string &error);
+
+/**
+ * Listen on loopback TCP port @p port (0 = ephemeral). @p boundPort
+ * receives the actual port.
+ */
+Fd listenTcp(std::uint16_t port, std::uint16_t &boundPort,
+             std::string &error);
+
+/** Connect to an AF_UNIX socket at @p path. */
+Fd connectUnix(const std::string &path, std::string &error);
+
+/** Connect to loopback TCP @p port. */
+Fd connectTcp(std::uint16_t port, std::string &error);
+
+/**
+ * Buffered line framing over a connected stream fd. Does not own the
+ * fd unless constructed from an Fd rvalue.
+ */
+class LineChannel
+{
+  public:
+    explicit LineChannel(Fd fd) : _fd(std::move(fd)) {}
+
+    /**
+     * Read one '\n'-terminated line (terminator stripped). Returns
+     * false on EOF or error; @p line holds any partial data.
+     */
+    bool readLine(std::string &line);
+
+    /** Write @p line plus '\n', retrying partial writes. */
+    bool writeLine(const std::string &line);
+
+    /** Write raw bytes (for HTTP responses), retrying partials. */
+    bool writeAll(const std::string &data);
+
+    int fd() const { return _fd.get(); }
+
+  private:
+    Fd _fd;
+    std::string _buf;
+};
+
+} // namespace serve
+} // namespace hscd
+
+#endif // HSCD_SERVE_NET_HH

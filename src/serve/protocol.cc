@@ -1,0 +1,334 @@
+#include "serve/protocol.hh"
+
+#include <cmath>
+#include <set>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "obs/provenance.hh"
+#include "workloads/synth.hh"
+#include "workloads/trace.hh"
+#include "workloads/workloads.hh"
+
+namespace hscd {
+namespace serve {
+
+namespace {
+
+/** Hard caps an untrusted submission can never exceed. */
+constexpr std::size_t kMaxNameLen = 200;
+constexpr std::size_t kMaxCellsAbsolute = 1u << 20;
+constexpr unsigned kMaxProcs = 4096;
+constexpr unsigned kMaxTimetagBits = 16;
+constexpr int kMaxScale = 8;
+
+bool
+validWorkloadSpec(const std::string &w, std::string &error)
+{
+    if (w.empty() || w.size() > kMaxNameLen) {
+        error = "bad workload spec";
+        return false;
+    }
+    if (workloads::isTraceSpec(w))
+        return true; // file errors surface as structured cell errors
+    if (workloads::isSynthSpec(w)) {
+        try {
+            workloads::parseSynthSpec(w);
+            return true;
+        } catch (const FatalError &e) {
+            error = csprintf("bad synth spec '%s': %s", w, e.what());
+            return false;
+        }
+    }
+    for (const std::string &n : workloads::benchmarkNames())
+        if (toLower(w) == toLower(n))
+            return true;
+    error = csprintf("unknown workload '%s'", w);
+    return false;
+}
+
+/** Fetch a bounded non-negative integer member; false on bad type. */
+bool
+intField(const JsonValue &obj, const char *key, double maxVal,
+         double &out, bool &present, std::string &error)
+{
+    present = false;
+    const JsonValue *v = obj.get(key);
+    if (!v)
+        return true;
+    if (!v->isNumber() || v->number < 0 || v->number > maxVal ||
+        v->number != std::floor(v->number)) {
+        error = csprintf("bad '%s' value", key);
+        return false;
+    }
+    out = v->number;
+    present = true;
+    return true;
+}
+
+} // namespace
+
+std::string
+CampaignSpec::canonical() const
+{
+    // Identity-relevant fields only; see the header comment for why
+    // timeouts/deadlines are excluded. The format is versioned so a
+    // grammar change can never collide with old identities.
+    std::string s = "hscd-campaign v1";
+    s += "|name=" + name;
+    s += "|fault=" + faultSpec;
+    s += csprintf("|cells=%d", cells.size());
+    for (const CellSpec &c : cells) {
+        s += csprintf("|%s,%s,%d,%d,%d,%d,%s", c.workload, c.scheme,
+                      c.scale, c.affinity ? 1 : 0, c.procs, c.timetagBits,
+                      c.label);
+    }
+    return s;
+}
+
+std::uint64_t
+CampaignSpec::identity() const
+{
+    return obs::fnv1a(canonical());
+}
+
+std::string
+CampaignSpec::toRequestJson() const
+{
+    JsonValue req;
+    req.kind = JsonValue::Kind::Object;
+    auto str = [](const std::string &v) {
+        JsonValue j;
+        j.kind = JsonValue::Kind::String;
+        j.text = v;
+        return j;
+    };
+    auto num = [](double v) {
+        JsonValue j;
+        j.kind = JsonValue::Kind::Number;
+        j.number = v;
+        return j;
+    };
+    auto boolean = [](bool v) {
+        JsonValue j;
+        j.kind = JsonValue::Kind::Bool;
+        j.boolean = v;
+        return j;
+    };
+    req.members.emplace_back("op", str("submit"));
+    req.members.emplace_back("campaign", str(name));
+    if (!faultSpec.empty())
+        req.members.emplace_back("fault", str(faultSpec));
+    if (timeoutMs > 0)
+        req.members.emplace_back("timeout_ms", num(timeoutMs));
+    if (deadlineMs > 0)
+        req.members.emplace_back("deadline_ms", num(deadlineMs));
+    JsonValue arr;
+    arr.kind = JsonValue::Kind::Array;
+    for (const CellSpec &c : cells) {
+        JsonValue cell;
+        cell.kind = JsonValue::Kind::Object;
+        cell.members.emplace_back("workload", str(c.workload));
+        cell.members.emplace_back("scheme", str(c.scheme));
+        cell.members.emplace_back("scale", num(c.scale));
+        if (!c.affinity)
+            cell.members.emplace_back("affinity", boolean(false));
+        if (c.procs)
+            cell.members.emplace_back("procs", num(c.procs));
+        if (c.timetagBits)
+            cell.members.emplace_back("timetag_bits", num(c.timetagBits));
+        if (c.label != c.workload + "/" + c.scheme)
+            cell.members.emplace_back("label", str(c.label));
+        arr.items.push_back(std::move(cell));
+    }
+    req.members.emplace_back("cells", std::move(arr));
+    return req.dump();
+}
+
+MachineConfig
+CampaignSpec::cellConfig(std::size_t i) const
+{
+    hscd_assert(i < cells.size(), "cell index %d out of range", i);
+    const CellSpec &c = cells[i];
+    MachineConfig cfg;
+    cfg.scheme = parseScheme(c.scheme);
+    if (c.procs)
+        cfg.procs = c.procs;
+    if (c.timetagBits)
+        cfg.timetagBits = c.timetagBits;
+    if (!faultSpec.empty()) {
+        // Same per-cell seed derivation as the sweep engine: the cell
+        // index folds into the campaign seed so interrupted and fresh
+        // runs inject identical fault sequences.
+        cfg.fault = fault::planForCell(fault::FaultPlan::parse(faultSpec),
+                                       i);
+    }
+    return cfg;
+}
+
+bool
+parseSubmit(const JsonValue &req, CampaignSpec &out, std::string &error,
+            std::size_t limitCells)
+{
+    out = CampaignSpec();
+    if (!req.isObject()) {
+        error = "request is not a JSON object";
+        return false;
+    }
+    static const std::set<std::string> knownTop = {
+        "op", "campaign", "cells", "fault", "timeout_ms", "deadline_ms"};
+    for (const auto &m : req.members) {
+        if (!knownTop.count(m.first)) {
+            error = csprintf("unknown field '%s'", m.first);
+            return false;
+        }
+    }
+
+    const JsonValue *name = req.get("campaign");
+    if (!name || !name->isString() || name->text.empty() ||
+        name->text.size() > kMaxNameLen) {
+        error = "missing or bad 'campaign' name";
+        return false;
+    }
+    out.name = name->text;
+
+    if (const JsonValue *f = req.get("fault")) {
+        if (!f->isString()) {
+            error = "bad 'fault' value";
+            return false;
+        }
+        try {
+            fault::FaultPlan::parse(f->text);
+        } catch (const FatalError &e) {
+            error = csprintf("bad fault spec: %s", e.what());
+            return false;
+        }
+        out.faultSpec = f->text;
+    }
+
+    double v = 0;
+    bool present = false;
+    if (!intField(req, "timeout_ms", 86400e3, v, present, error))
+        return false;
+    if (present)
+        out.timeoutMs = v;
+    if (!intField(req, "deadline_ms", 86400e3, v, present, error))
+        return false;
+    if (present)
+        out.deadlineMs = v;
+
+    const JsonValue *cells = req.get("cells");
+    if (!cells || !cells->isArray() || cells->items.empty()) {
+        error = "missing or empty 'cells' array";
+        return false;
+    }
+    const std::size_t cap =
+        limitCells ? std::min(limitCells, kMaxCellsAbsolute)
+                   : kMaxCellsAbsolute;
+    if (cells->items.size() > cap) {
+        error = csprintf("campaign too large: %d cells (limit %d)",
+                         cells->items.size(), cap);
+        return false;
+    }
+
+    static const std::set<std::string> knownCell = {
+        "workload", "scheme",       "scale", "affinity",
+        "procs",    "timetag_bits", "label"};
+    out.cells.reserve(cells->items.size());
+    for (std::size_t i = 0; i < cells->items.size(); ++i) {
+        const JsonValue &jc = cells->items[i];
+        if (!jc.isObject()) {
+            error = csprintf("cell %d is not an object", i);
+            return false;
+        }
+        for (const auto &m : jc.members) {
+            if (!knownCell.count(m.first)) {
+                error = csprintf("cell %d: unknown field '%s'", i,
+                                 m.first);
+                return false;
+            }
+        }
+        CellSpec c;
+        const JsonValue *w = jc.get("workload");
+        if (!w || !w->isString() ||
+            !validWorkloadSpec(w->text, error)) {
+            if (error.empty())
+                error = csprintf("cell %d: missing 'workload'", i);
+            else
+                error = csprintf("cell %d: %s", i, error);
+            return false;
+        }
+        c.workload = workloads::isTraceSpec(w->text) ||
+                             workloads::isSynthSpec(w->text)
+                         ? w->text
+                         : toLower(w->text);
+        const JsonValue *s = jc.get("scheme");
+        if (!s || !s->isString()) {
+            error = csprintf("cell %d: missing 'scheme'", i);
+            return false;
+        }
+        try {
+            // Normalize to the canonical lower-case name so any case
+            // the client sends hashes to the same campaign identity.
+            c.scheme = toLower(schemeName(parseScheme(s->text)));
+        } catch (const FatalError &) {
+            error = csprintf("cell %d: unknown scheme '%s'", i, s->text);
+            return false;
+        }
+        if (!intField(jc, "scale", kMaxScale, v, present, error)) {
+            error = csprintf("cell %d: %s", i, error);
+            return false;
+        }
+        if (present) {
+            if (v < 1) {
+                error = csprintf("cell %d: bad 'scale' value", i);
+                return false;
+            }
+            c.scale = static_cast<int>(v);
+        }
+        if (const JsonValue *a = jc.get("affinity")) {
+            if (!a->isBool()) {
+                error = csprintf("cell %d: bad 'affinity' value", i);
+                return false;
+            }
+            c.affinity = a->boolean;
+        }
+        if (!intField(jc, "procs", kMaxProcs, v, present, error)) {
+            error = csprintf("cell %d: %s", i, error);
+            return false;
+        }
+        if (present) {
+            if (v < 1) {
+                error = csprintf("cell %d: bad 'procs' value", i);
+                return false;
+            }
+            c.procs = static_cast<unsigned>(v);
+        }
+        if (!intField(jc, "timetag_bits", kMaxTimetagBits, v, present,
+                      error)) {
+            error = csprintf("cell %d: %s", i, error);
+            return false;
+        }
+        if (present) {
+            if (v < 1) {
+                error = csprintf("cell %d: bad 'timetag_bits' value", i);
+                return false;
+            }
+            c.timetagBits = static_cast<unsigned>(v);
+        }
+        if (const JsonValue *l = jc.get("label")) {
+            if (!l->isString() || l->text.size() > kMaxNameLen) {
+                error = csprintf("cell %d: bad 'label' value", i);
+                return false;
+            }
+            c.label = l->text;
+        }
+        if (c.label.empty())
+            c.label = c.workload + "/" + c.scheme;
+        out.cells.push_back(std::move(c));
+    }
+    return true;
+}
+
+} // namespace serve
+} // namespace hscd

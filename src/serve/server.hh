@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The resident campaign server: socket front-end over CampaignQueue.
+ *
+ * One process serves line-delimited JSON requests (see
+ * serve/protocol.hh for the grammar) on an AF_UNIX socket - by default
+ * `<stateDir>/sock` - or on loopback TCP. The same listener also
+ * answers plain HTTP GETs for `/healthz` and `/stats`, detected by the
+ * "GET " prefix of the first line, so `curl --unix-socket` works
+ * without a separate port.
+ *
+ * Lifecycle contract (mirrors the verify::ExitCode mapping in
+ * tools/hscd_serve.cc):
+ *  - SIGTERM/SIGINT -> requestStop(drain=true): stop accepting, finish
+ *    and journal in-flight cells, leave queued cells durable, exit 0
+ *    if the queue drained empty or 4 (structured abort: interrupted
+ *    with checkpoint) if journaled work remains.
+ *  - kill -9 -> no cooperation needed: the durable queue recovers on
+ *    the next start (that is what the chaos harness exercises).
+ */
+
+#ifndef HSCD_SERVE_SERVER_HH
+#define HSCD_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net.hh"
+#include "serve/queue.hh"
+
+namespace hscd {
+namespace serve {
+
+struct ServerOptions
+{
+    std::string stateDir = "serve-state";
+    std::string socketPath; ///< default: <stateDir>/sock
+    bool useTcp = false;
+    std::uint16_t tcpPort = 0; ///< 0 = ephemeral (printed on start)
+    unsigned workers = 0;      ///< simulation workers (0 = 1)
+    std::size_t maxConnections = 32;
+    QueueLimits limits;
+    /**
+     * Optional extra members for the /stats object (e.g. compile/sim
+     * cache counters owned by the bench layer). Must be a fragment of
+     * the form `"key": {...}, "key2": ...` without trailing comma, or
+     * empty.
+     */
+    std::function<std::string()> extraStats;
+};
+
+class Server
+{
+  public:
+    Server(ServerOptions opts, CampaignQueue::CellFn runCell);
+    ~Server();
+
+    /** Recover durable campaigns; call before serve(). */
+    std::size_t recover();
+
+    /** Bind the listener. False (with @p error) on failure. */
+    bool start(std::string &error);
+
+    /**
+     * Accept and serve until requestStop(). Returns the number of
+     * journaled-but-unfinished cells left behind (0 = fully drained).
+     */
+    std::size_t serve();
+
+    /**
+     * Ask the accept loop to stop. Async-signal-safe: a signal handler
+     * may call this directly. @p drain finishes in-flight cells.
+     */
+    void requestStop(bool drain);
+
+    /** Bound TCP port (after start(), TCP mode only). */
+    std::uint16_t port() const { return _boundPort; }
+
+    const std::string &socketPath() const { return _opts.socketPath; }
+
+    CampaignQueue &queue() { return *_queue; }
+
+    /**
+     * Handle one NDJSON request line, returning the one-line response.
+     * Public so unit tests can exercise the protocol without a socket.
+     */
+    std::string handleRequestLine(const std::string &line);
+
+    /** Single-line /healthz JSON body. */
+    std::string healthzJson() const;
+    /** Single-line provenance-stamped /stats JSON body. */
+    std::string statsJson() const;
+
+  private:
+    std::string dispatchRequest(const std::string &line);
+    void handleConnection(Fd fd);
+    void handleHttp(LineChannel &ch, const std::string &requestLine);
+    void reapConnections(bool all);
+
+    ServerOptions _opts;
+    std::unique_ptr<CampaignQueue> _queue;
+    Fd _listener;
+    Fd _wakeRead, _wakeWrite; ///< self-pipe: signals wake the poll loop
+    std::uint16_t _boundPort = 0;
+    std::atomic<bool> _stop{false};
+    std::atomic<bool> _drain{true};
+    std::atomic<std::size_t> _activeConns{0};
+
+    std::mutex _connMu;
+    std::vector<std::thread> _conns;
+};
+
+} // namespace serve
+} // namespace hscd
+
+#endif // HSCD_SERVE_SERVER_HH

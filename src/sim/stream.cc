@@ -1,5 +1,6 @@
 #include "sim/stream.hh"
 
+#include <atomic>
 #include <list>
 #include <map>
 #include <mutex>
@@ -310,6 +311,13 @@ struct CacheSlot
 
 std::mutex g_slotMu;
 
+// Process-wide cache telemetry, aggregated across every program's slot
+// (slots die with their CompiledProgram; a long-lived server wants the
+// running totals to survive for /stats).
+std::atomic<std::uint64_t> g_streamBuilds{0};
+std::atomic<std::uint64_t> g_streamHits{0};
+std::atomic<std::uint64_t> g_streamEvictions{0};
+
 CacheSlot &
 slotFor(const compiler::CompiledProgram &cp)
 {
@@ -381,12 +389,14 @@ epochStream(const compiler::CompiledProgram &cp, const MachineConfig &cfg)
     auto it = slot.entries.find(key);
     if (it != slot.entries.end()) {
         touchLru(slot, key);
+        ++g_streamHits;
         return it->second;
     }
 
     auto sp = StreamBuilder(cp, cfg).build();
     slot.entries[key] = sp;
     slot.lru.push_front(key);
+    ++g_streamBuilds;
     if (sp)
         slot.totalOps += sp->opCount();
 
@@ -401,9 +411,20 @@ epochStream(const compiler::CompiledProgram &cp, const MachineConfig &cfg)
             if (vit->second)
                 slot.totalOps -= vit->second->opCount();
             slot.entries.erase(vit);
+            ++g_streamEvictions;
         }
     }
     return sp;
+}
+
+StreamCacheStats
+streamCacheStats()
+{
+    StreamCacheStats s;
+    s.builds = g_streamBuilds.load();
+    s.hits = g_streamHits.load();
+    s.evictions = g_streamEvictions.load();
+    return s;
 }
 
 } // namespace sim

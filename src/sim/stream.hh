@@ -122,6 +122,19 @@ buildStreamProgram(const compiler::CompiledProgram &cp,
 /** Does a DOALL body (transitively) contain post/wait? */
 bool doallBodyHasSync(const hir::Program &prog, const hir::LoopStmt &loop);
 
+/**
+ * Process-wide StreamProgram cache telemetry, aggregated over every
+ * program's per-CompiledProgram slot (monotonic; for /stats).
+ */
+struct StreamCacheStats
+{
+    std::uint64_t builds = 0;    ///< streams recorded fresh
+    std::uint64_t hits = 0;      ///< served from a slot cache
+    std::uint64_t evictions = 0; ///< shapes dropped past the op budget
+};
+
+StreamCacheStats streamCacheStats();
+
 } // namespace sim
 } // namespace hscd
 

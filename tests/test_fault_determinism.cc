@@ -137,7 +137,8 @@ TEST(FaultDeterminism, FaultedJsonIsByteIdenticalAcrossJobs)
 TEST(FaultDeterminism, FastPathMatchesInterpreterUnderFaults)
 {
     for (const std::string &name : kBenchmarks) {
-        const compiler::CompiledProgram &cp = compiledBenchmark(name, 1);
+        const CompiledProgramPtr prog = compiledBenchmark(name, 1);
+        const compiler::CompiledProgram &cp = *prog;
         for (SchemeKind k : kSchemes) {
             MachineConfig cfg = makeConfig(k);
             cfg.fault = fault::FaultPlan::parse("0.02:11");
@@ -217,6 +218,39 @@ TEST(FaultDeterminism, ResumeReproducesByteIdenticalJson)
 
     std::remove(json0.c_str());
     std::remove(json1.c_str());
+    std::remove(ckpt.c_str());
+}
+
+TEST(FaultDeterminism, TornHeaderJournalIsRejected)
+{
+    // A checkpoint whose header was torn inside the 16-hex identity
+    // (kill -9 before the header flushed whole) must be rejected as
+    // not-a-journal - the old prefix parser would misparse the
+    // truncated hash as a shorter, foreign-looking identity.
+    const std::string ckpt = testing::TempDir() + "hscd_torn.journal";
+    {
+        SweepOptions opts;
+        opts.jobs = 1;
+        opts.checkpointPath = ckpt;
+        Sweep sweep(opts, "torn-header");
+        sweep.add("ADM", makeConfig(SchemeKind::SC), 1);
+        sweep.run();
+    }
+    const std::string journal = slurp(ckpt);
+    const std::size_t eol = journal.find('\n');
+    ASSERT_NE(eol, std::string::npos);
+    {
+        // Keep the header minus its last 7 identity digits.
+        std::ofstream f(ckpt, std::ios::trunc);
+        f << journal.substr(0, eol - 7);
+    }
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.checkpointPath = ckpt;
+    opts.resume = true;
+    Sweep other(opts, "torn-header");
+    other.add("ADM", makeConfig(SchemeKind::SC), 1);
+    EXPECT_THROW(other.run(), FatalError);
     std::remove(ckpt.c_str());
 }
 

@@ -1,10 +1,11 @@
 /**
  * @file
- * Regression test for the compiledBenchmark() cache: concurrent
+ * Regression tests for the compiledBenchmark() cache: concurrent
  * first-touch from many threads used to race on an unsynchronized map
  * (and could hand out references into a map mid-mutation). The cache is
- * now insert-once and thread-safe; every caller for a key must get the
- * same long-lived object.
+ * thread-safe and hands out shared ownership; every caller for a key
+ * must get the same object while it stays resident, and the LRU budget
+ * must evict without dangling concurrent holders.
  *
  * The keys here use affinity=false so no other test in this binary has
  * already warmed them - the racy path was specifically concurrent
@@ -25,18 +26,18 @@ using namespace hscd::bench;
 TEST(HarnessCache, ConcurrentFirstTouchSameKey)
 {
     constexpr int kThreads = 8;
-    std::vector<const compiler::CompiledProgram *> got(kThreads, nullptr);
+    std::vector<CompiledProgramPtr> got(kThreads);
     std::vector<std::thread> threads;
     threads.reserve(kThreads);
     for (int t = 0; t < kThreads; ++t)
         threads.emplace_back([&got, t] {
-            got[t] = &compiledBenchmark("OCEAN", 1, /*affinity=*/false);
+            got[t] = compiledBenchmark("OCEAN", 1, /*affinity=*/false);
         });
     for (std::thread &th : threads)
         th.join();
     for (int t = 1; t < kThreads; ++t)
-        EXPECT_EQ(got[t], got[0]) << "thread " << t
-                                  << " got a different cache entry";
+        EXPECT_EQ(got[t].get(), got[0].get())
+            << "thread " << t << " got a different cache entry";
     ASSERT_NE(got[0], nullptr);
     EXPECT_GT(got[0]->program.dataBytes(), 0u);
 }
@@ -48,9 +49,8 @@ TEST(HarnessCache, ConcurrentMixedKeysHammer)
     constexpr int kIters = 25;
 
     // pointers[t][k]: what thread t saw for key k on its last call.
-    std::vector<std::vector<const compiler::CompiledProgram *>> pointers(
-        kThreads, std::vector<const compiler::CompiledProgram *>(
-                      names.size(), nullptr));
+    std::vector<std::vector<CompiledProgramPtr>> pointers(
+        kThreads, std::vector<CompiledProgramPtr>(names.size()));
 
     std::vector<std::thread> threads;
     threads.reserve(kThreads);
@@ -61,13 +61,13 @@ TEST(HarnessCache, ConcurrentMixedKeysHammer)
                 // collide across different keys at once.
                 for (std::size_t k = 0; k < names.size(); ++k) {
                     std::size_t key = (k + t) % names.size();
-                    const compiler::CompiledProgram &cp =
+                    CompiledProgramPtr cp =
                         compiledBenchmark(names[key], 1,
                                           /*affinity=*/false);
                     if (pointers[t][key])
-                        ASSERT_EQ(pointers[t][key], &cp)
+                        ASSERT_EQ(pointers[t][key].get(), cp.get())
                             << "cache entry moved for " << names[key];
-                    pointers[t][key] = &cp;
+                    pointers[t][key] = std::move(cp);
                 }
             }
         });
@@ -78,8 +78,45 @@ TEST(HarnessCache, ConcurrentMixedKeysHammer)
     std::set<const compiler::CompiledProgram *> distinct;
     for (std::size_t k = 0; k < names.size(); ++k) {
         for (int t = 1; t < kThreads; ++t)
-            EXPECT_EQ(pointers[t][k], pointers[0][k]);
-        distinct.insert(pointers[0][k]);
+            EXPECT_EQ(pointers[t][k].get(), pointers[0][k].get());
+        distinct.insert(pointers[0][k].get());
     }
     EXPECT_EQ(distinct.size(), names.size());
+}
+
+TEST(HarnessCache, LruBudgetEvictsWithoutDangling)
+{
+    const CompiledCacheStats before = compiledCacheStats();
+
+    // Tighten the budget to 2 and touch 4 distinct keys: at least two
+    // evictions must happen, yet held shared_ptrs stay alive. Scale 2
+    // with affinity=false makes the keys unique to this test, so every
+    // touch is a fresh build.
+    setCompiledCacheBudget(2);
+    const std::vector<std::string> names = {"ADM", "FLO52", "QCD2",
+                                            "TRFD"};
+    std::vector<CompiledProgramPtr> held;
+    for (const std::string &n : names)
+        held.push_back(compiledBenchmark(n, 2, /*affinity=*/false));
+
+    CompiledCacheStats after = compiledCacheStats();
+    EXPECT_EQ(after.budget, 2u);
+    EXPECT_LE(after.resident, 2u);
+    EXPECT_GE(after.evictions, before.evictions + 2);
+    EXPECT_GE(after.builds, before.builds + 4);
+
+    // Every evicted program is still usable through its shared_ptr.
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        ASSERT_NE(held[i], nullptr) << names[i];
+        EXPECT_GT(held[i]->program.dataBytes(), 0u) << names[i];
+    }
+
+    // A re-fetch after eviction recompiles (a fresh build, possibly a
+    // different address) but must yield an equivalent program.
+    const CompiledProgramPtr again =
+        compiledBenchmark(names.front(), 2, /*affinity=*/false);
+    EXPECT_EQ(again->program.dataBytes(),
+              held.front()->program.dataBytes());
+
+    setCompiledCacheBudget(0); // restore the default for other tests
 }
